@@ -1,0 +1,196 @@
+//! The paper's closed-form performance model (§3, Eqs. 1–7) and the
+//! message-cost models of the comparison algorithms.
+//!
+//! All message counts are *per critical-section invocation*; all times are
+//! in seconds.
+
+use serde::{Deserialize, Serialize};
+
+/// The deterministic timing parameters of the paper's analysis (§3):
+/// constant message delay, critical-section execution time, and request
+/// collection duration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Constant message delay `T_msg` (seconds).
+    pub t_msg: f64,
+    /// Critical-section execution time `T_exec` (seconds).
+    pub t_exec: f64,
+    /// Request collection duration `T_req` (seconds).
+    pub t_req: f64,
+}
+
+impl ModelParams {
+    /// The parameters of the paper's simulation study (§3.3): all set
+    /// to 0.1 units.
+    pub fn paper() -> Self {
+        ModelParams {
+            t_msg: 0.1,
+            t_exec: 0.1,
+            t_req: 0.1,
+        }
+    }
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Eq. 1: average messages per CS under *light* load,
+/// `M̄ = (1 − 1/N)(1 + (N−1) + 1) = (N² − 1)/N`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn arbiter_messages_light(n: usize) -> f64 {
+    assert!(n > 0, "system must have at least one node");
+    let n = n as f64;
+    (n * n - 1.0) / n
+}
+
+/// Eq. 4: average messages per CS under *heavy* load, `M̄ = 3 − 2/N`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn arbiter_messages_heavy(n: usize) -> f64 {
+    assert!(n > 0, "system must have at least one node");
+    3.0 - 2.0 / n as f64
+}
+
+/// Eq. 3: average service time per CS under light load,
+/// `X̄ = (1 − 1/N)·2·T_msg + T_req + T_exec`.
+pub fn arbiter_delay_light(n: usize, p: ModelParams) -> f64 {
+    assert!(n > 0, "system must have at least one node");
+    let n = n as f64;
+    (1.0 - 1.0 / n) * 2.0 * p.t_msg + p.t_req + p.t_exec
+}
+
+/// Eq. 6: average service time per CS under heavy load,
+/// `X̄ = (1 − 1/N)·T_msg + T_req + (N/2 + 1)(T_msg + T_exec)`.
+pub fn arbiter_delay_heavy(n: usize, p: ModelParams) -> f64 {
+    assert!(n > 0, "system must have at least one node");
+    let n = n as f64;
+    (1.0 - 1.0 / n) * p.t_msg + p.t_req + (n / 2.0 + 1.0) * (p.t_msg + p.t_exec)
+}
+
+/// Eq. 7's stability condition for the forwarding phase: indefinite
+/// forwarding is avoided when
+/// `T_privilege + T_exec + T_req > T_fwd + T_fwd_req`,
+/// where the left side is the time before the *new* arbiter seals and the
+/// right side the worst-case forwarded-request path. Returns `true` when
+/// the inequality holds.
+pub fn forwarding_is_stable(
+    t_privilege: f64,
+    t_exec: f64,
+    t_req: f64,
+    t_fwd: f64,
+    t_fwd_req: f64,
+) -> bool {
+    t_privilege + t_exec + t_req > t_fwd + t_fwd_req
+}
+
+/// Ricart–Agrawala message cost: exactly `2(N − 1)` at every load.
+pub fn ricart_agrawala_messages(n: usize) -> f64 {
+    assert!(n > 0, "system must have at least one node");
+    2.0 * (n as f64 - 1.0)
+}
+
+/// Suzuki–Kasami message cost when the requester does not hold the token:
+/// `N` (an `N−1` REQUEST broadcast plus the token transfer); `0` when it
+/// does. Under uniform load the expectation is `N(1 − 1/N) = N − 1`.
+pub fn suzuki_kasami_messages(n: usize) -> f64 {
+    assert!(n > 0, "system must have at least one node");
+    let n = n as f64;
+    n * (1.0 - 1.0 / n)
+}
+
+/// Raymond's cost under heavy load: approximately 4 messages per CS
+/// (the figure the paper quotes when claiming to beat Raymond's tree
+/// algorithm).
+pub fn raymond_messages_heavy() -> f64 {
+    4.0
+}
+
+/// Raymond's typical cost under light load on a balanced binary tree:
+/// `≈ 2·(2/3)·log₂ N ≈ 1.33 log₂ N` (Raymond's own estimate of the average
+/// distance to the token, doubled for the request + privilege traversal).
+pub fn raymond_messages_light(n: usize) -> f64 {
+    assert!(n > 0, "system must have at least one node");
+    if n == 1 {
+        return 0.0;
+    }
+    4.0 / 3.0 * (n as f64).log2()
+}
+
+/// Centralized coordinator cost: 3 messages for a non-coordinator
+/// requester, 0 for the coordinator; `3(1 − 1/N)` in expectation.
+pub fn centralized_messages(n: usize) -> f64 {
+    assert!(n > 0, "system must have at least one node");
+    3.0 * (1.0 - 1.0 / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_load_tends_to_n() {
+        // Eq. 2: M̄ → N for large N.
+        assert!((arbiter_messages_light(1_000) - 1_000.0).abs() < 0.01);
+        // Exact small-N values: (N²−1)/N.
+        assert!((arbiter_messages_light(5) - 24.0 / 5.0).abs() < 1e-12);
+        assert!((arbiter_messages_light(10) - 99.0 / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_load_tends_to_three() {
+        // Eq. 5: M̄ → 3 for large N.
+        assert!((arbiter_messages_heavy(1_000) - 3.0).abs() < 0.01);
+        assert!((arbiter_messages_heavy(10) - 2.8).abs() < 1e-12);
+        assert!((arbiter_messages_heavy(2) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_headline_comparison_holds() {
+        // At high load the arbiter beats Raymond (≈4) and Ricart–Agrawala.
+        for n in [5, 10, 50, 100] {
+            assert!(arbiter_messages_heavy(n) < raymond_messages_heavy());
+            assert!(arbiter_messages_heavy(n) < ricart_agrawala_messages(n));
+        }
+    }
+
+    #[test]
+    fn delay_formulas_with_paper_params() {
+        let p = ModelParams::paper();
+        // Eq. 3 with N=10: 0.9·0.2 + 0.1 + 0.1 = 0.38.
+        assert!((arbiter_delay_light(10, p) - 0.38).abs() < 1e-12);
+        // Eq. 6 with N=10: 0.9·0.1 + 0.1 + 6·0.2 = 1.39.
+        assert!((arbiter_delay_heavy(10, p) - 1.39).abs() < 1e-12);
+        // Heavy-load delay grows linearly with N.
+        assert!(arbiter_delay_heavy(20, p) > arbiter_delay_heavy(10, p));
+    }
+
+    #[test]
+    fn forwarding_stability_inequality() {
+        // Paper's worked condition: generous left side is stable.
+        assert!(forwarding_is_stable(0.1, 0.1, 0.1, 0.1, 0.05));
+        assert!(!forwarding_is_stable(0.01, 0.01, 0.01, 0.1, 0.1));
+    }
+
+    #[test]
+    fn baseline_models() {
+        assert_eq!(ricart_agrawala_messages(10), 18.0);
+        assert_eq!(suzuki_kasami_messages(10), 9.0);
+        assert!((raymond_messages_light(16) - 4.0 / 3.0 * 4.0).abs() < 1e-12);
+        assert_eq!(raymond_messages_light(1), 0.0);
+        assert!((centralized_messages(10) - 2.7).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = arbiter_messages_light(0);
+    }
+}

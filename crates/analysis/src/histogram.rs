@@ -1,0 +1,194 @@
+//! Fixed-bucket latency histogram with quantile estimation.
+//!
+//! Used by the experiment harness to report delay distributions (the paper
+//! reports only means; the histogram lets EXPERIMENTS.md also discuss
+//! tails, and backs the fairness experiments).
+
+use serde::{Deserialize, Serialize};
+
+/// A linear-bucket histogram over `[0, max)` with an overflow bucket.
+///
+/// # Examples
+///
+/// ```
+/// use tokq_analysis::histogram::Histogram;
+///
+/// let mut h = Histogram::new(10.0, 100);
+/// for x in [1.0, 2.0, 2.5, 9.0] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.quantile(0.5) >= 2.0 && h.quantile(0.5) <= 2.6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    max: f64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// A histogram over `[0, max)` with `buckets` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is not positive or `buckets` is zero.
+    pub fn new(max: f64, buckets: usize) -> Self {
+        assert!(max > 0.0, "histogram max must be positive");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            max,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation (negative values clamp to bucket 0).
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        if x >= self.max {
+            self.overflow += 1;
+            return;
+        }
+        let idx = ((x.max(0.0) / self.max) * self.buckets.len() as f64) as usize;
+        let idx = idx.min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Observations at or beyond `max`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Approximate `q`-quantile (bucket upper edge), `q ∈ [0, 1]`.
+    /// Returns `max` if the quantile falls in the overflow bucket, and 0
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let width = self.max / self.buckets.len() as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return (i + 1) as f64 * width;
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram with identical geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometries differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.max, other.max, "histogram max mismatch");
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram bucket-count mismatch"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_means() {
+        let mut h = Histogram::new(10.0, 10);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(2.5);
+        assert_eq!(h.count(), 3);
+        assert!((h.mean() - 1.5).abs() < 1e-12);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn overflow_counted() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record(5.0);
+        h.record(0.5);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn quantiles_bracket_median() {
+        let mut h = Histogram::new(100.0, 1000);
+        for i in 0..1000 {
+            h.record(i as f64 / 10.0);
+        }
+        let med = h.quantile(0.5);
+        assert!((med - 50.0).abs() < 1.0, "median ≈ 50, got {med}");
+        let p99 = h.quantile(0.99);
+        assert!((p99 - 99.0).abs() < 1.5, "p99 ≈ 99, got {p99}");
+        assert_eq!(h.quantile(0.0), h.quantile(-1.0));
+    }
+
+    #[test]
+    fn empty_quantile_is_zero() {
+        let h = Histogram::new(1.0, 4);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(10.0, 10);
+        let mut b = Histogram::new(10.0, 10);
+        a.record(1.0);
+        b.record(2.0);
+        b.record(20.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket-count mismatch")]
+    fn merge_rejects_mismatch() {
+        let mut a = Histogram::new(10.0, 10);
+        let b = Histogram::new(10.0, 20);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn negative_values_clamp() {
+        let mut h = Histogram::new(1.0, 2);
+        h.record(-5.0);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0) <= 0.5);
+    }
+}

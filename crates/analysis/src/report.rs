@@ -1,0 +1,231 @@
+//! Plain-text table and CSV rendering for experiment output.
+//!
+//! Every experiment in the harness prints one [`Table`]: a header row and
+//! numeric data rows, renderable as an aligned ASCII table (for the
+//! terminal) or CSV (for plotting).
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+/// A single cell value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Cell {
+    /// A text label.
+    Text(String),
+    /// A number rendered with a fixed number of decimals.
+    Num(f64),
+    /// An integer count.
+    Int(u64),
+}
+
+impl Cell {
+    fn render(&self, decimals: usize) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Num(v) => {
+                if v.is_nan() {
+                    "-".to_owned()
+                } else {
+                    format!("{v:.decimals$}")
+                }
+            }
+            Cell::Int(v) => v.to_string(),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Num(v)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Int(v)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Int(v as u64)
+    }
+}
+
+/// A titled table of experiment results.
+///
+/// # Examples
+///
+/// ```
+/// use tokq_analysis::report::Table;
+///
+/// let mut t = Table::new("demo", &["x", "y"]);
+/// t.row(vec![1.0.into(), 2.5.into()]);
+/// let ascii = t.to_ascii();
+/// assert!(ascii.contains("demo"));
+/// assert!(t.to_csv().starts_with("x,y\n"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// The table's title (the figure/table id it reproduces).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<Cell>>,
+    /// Decimal places for numeric cells.
+    pub decimals: usize,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            decimals: 4,
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header count.
+    pub fn row(&mut self, cells: Vec<Cell>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header count"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders an aligned ASCII table.
+    pub fn to_ascii(&self) -> String {
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|c| c.render(self.decimals)).collect())
+            .collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// Renders RFC-4180-style CSV (header row first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    let s = c.render(self.decimals);
+                    if s.contains(',') || s.contains('"') {
+                        format!("\"{}\"", s.replace('"', "\"\""))
+                    } else {
+                        s
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "{}", line.join(","));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("fig-test", &["lambda", "msgs", "name"]);
+        t.row(vec![0.5.into(), 2.8123.into(), "arbiter".into()]);
+        t.row(vec![1.0.into(), Cell::Num(f64::NAN), "x,y".into()]);
+        t
+    }
+
+    #[test]
+    fn ascii_alignment_and_title() {
+        let s = sample().to_ascii();
+        assert!(s.starts_with("## fig-test"));
+        assert!(s.contains("lambda"));
+        assert!(s.contains("2.8123"));
+        // NaN renders as a dash.
+        assert!(s.contains(" -"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let s = sample().to_csv();
+        assert!(s.starts_with("lambda,msgs,name\n"));
+        assert!(s.contains("\"x,y\""));
+    }
+
+    #[test]
+    fn decimals_respected() {
+        let mut t = Table::new("d", &["v"]);
+        t.decimals = 1;
+        t.row(vec![1.26.into()]);
+        assert!(t.to_csv().contains("1.3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec![1.0.into()]);
+    }
+
+    #[test]
+    fn cell_conversions() {
+        assert_eq!(Cell::from(3usize), Cell::Int(3));
+        assert_eq!(Cell::from(3u64), Cell::Int(3));
+        assert_eq!(Cell::from("hi"), Cell::Text("hi".into()));
+    }
+}

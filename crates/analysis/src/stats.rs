@@ -1,0 +1,333 @@
+//! Streaming statistics: Welford online moments, Student-t 95% confidence
+//! intervals (the paper plots 95% CIs on every simulated point), and moving
+//! windows.
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use tokq_analysis::stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.variance() - 32.0 / 7.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Half-width of the 95% confidence interval of the mean, using the
+    /// Student-t quantile for small samples.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        t_quantile_975(self.count - 1) * self.std_err()
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = OnlineStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Two-sided 97.5% Student-t quantile for `df` degrees of freedom
+/// (t such that P(T ≤ t) = 0.975), interpolated from standard tables;
+/// converges to the normal quantile 1.96 for large `df`.
+pub fn t_quantile_975(df: u64) -> f64 {
+    const TABLE: [(u64, f64); 15] = [
+        (1, 12.706),
+        (2, 4.303),
+        (3, 3.182),
+        (4, 2.776),
+        (5, 2.571),
+        (6, 2.447),
+        (7, 2.365),
+        (8, 2.306),
+        (9, 2.262),
+        (10, 2.228),
+        (15, 2.131),
+        (20, 2.086),
+        (30, 2.042),
+        (60, 2.000),
+        (120, 1.980),
+    ];
+    if df == 0 {
+        return f64::NAN;
+    }
+    if df >= 120 {
+        return 1.96;
+    }
+    let mut prev = TABLE[0];
+    for &(d, t) in &TABLE {
+        if df == d {
+            return t;
+        }
+        if df < d {
+            // Linear interpolation in 1/df, the standard approximation.
+            let (d0, t0) = prev;
+            let x0 = 1.0 / d0 as f64;
+            let x1 = 1.0 / d as f64;
+            let x = 1.0 / df as f64;
+            return t + (t0 - t) * (x - x1) / (x0 - x1);
+        }
+        prev = (d, t);
+    }
+    1.96
+}
+
+/// Fixed-capacity moving-average window (used by the adaptive monitor
+/// period ablation and by smoothing in reports).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MovingWindow {
+    cap: usize,
+    values: std::collections::VecDeque<f64>,
+    sum: f64,
+}
+
+impl MovingWindow {
+    /// A window holding at most `cap` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "window capacity must be positive");
+        MovingWindow {
+            cap,
+            values: std::collections::VecDeque::with_capacity(cap),
+            sum: 0.0,
+        }
+    }
+
+    /// Pushes an observation, evicting the oldest when full.
+    pub fn push(&mut self, x: f64) {
+        if self.values.len() == self.cap {
+            if let Some(old) = self.values.pop_front() {
+                self.sum -= old;
+            }
+        }
+        self.values.push_back(x);
+        self.sum += x;
+    }
+
+    /// The window average (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.sum / self.values.len() as f64
+        }
+    }
+
+    /// Observations currently held.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no observations are held.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let data = [1.5, 2.5, 3.5, -1.0, 0.0, 10.0, 4.25];
+        let s: OnlineStats = data.iter().copied().collect();
+        let mean: f64 = data.iter().sum::<f64>() / data.len() as f64;
+        let var: f64 =
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.count(), 7);
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 10.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+        assert!(s.min().is_nan());
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let all: OnlineStats = data.iter().copied().collect();
+        let mut a: OnlineStats = data[..37].iter().copied().collect();
+        let b: OnlineStats = data[37..].iter().copied().collect();
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.count(), all.count());
+    }
+
+    #[test]
+    fn t_quantiles_decrease_toward_normal() {
+        assert!((t_quantile_975(1) - 12.706).abs() < 1e-9);
+        assert!((t_quantile_975(10) - 2.228).abs() < 1e-9);
+        let t25 = t_quantile_975(25);
+        assert!(t25 < t_quantile_975(20) && t25 > t_quantile_975(30));
+        assert_eq!(t_quantile_975(10_000), 1.96);
+        assert!(t_quantile_975(0).is_nan());
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let mut small = OnlineStats::new();
+        let mut large = OnlineStats::new();
+        for i in 0..10 {
+            small.push((i % 3) as f64);
+        }
+        for i in 0..1000 {
+            large.push((i % 3) as f64);
+        }
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn moving_window_evicts() {
+        let mut w = MovingWindow::new(3);
+        assert!(w.is_empty());
+        w.push(1.0);
+        w.push(2.0);
+        w.push(3.0);
+        assert_eq!(w.mean(), 2.0);
+        w.push(10.0); // evicts 1.0
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.mean(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_window_rejected() {
+        let _ = MovingWindow::new(0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Microbenchmark: protocol state-machine step throughput per algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tokq_protocol::api::{Protocol, ProtocolFactory};
+use tokq_protocol::arbiter::{ArbiterConfig, ArbiterMsg};
+use tokq_protocol::event::Input;
+use tokq_protocol::ricart_agrawala::{RaConfig, RaMsg};
+use tokq_protocol::suzuki_kasami::{SkConfig, SkMsg};
+use tokq_protocol::types::{NodeId, Priority, SeqNum};
+
+fn bench_arbiter_request(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_step");
+    for n in [10usize, 100] {
+        g.bench_with_input(BenchmarkId::new("arbiter_on_request", n), &n, |b, &n| {
+            let mut node = ArbiterConfig::basic().build(NodeId(0), n);
+            node.step(Input::Start);
+            let mut seq = 0u64;
+            b.iter(|| {
+                seq += 1;
+                let msg = ArbiterMsg::Request {
+                    requester: NodeId(1),
+                    seq: SeqNum(seq),
+                    priority: Priority(0),
+                    hops: 0,
+                };
+                std::hint::black_box(node.step(Input::Deliver {
+                    from: NodeId(1),
+                    msg,
+                }))
+            });
+        });
+    }
+    g.bench_function("ricart_agrawala_on_request", |b| {
+        let mut node = RaConfig.build(NodeId(0), 10);
+        node.step(Input::Start);
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += 1;
+            std::hint::black_box(node.step(Input::Deliver {
+                from: NodeId(1),
+                msg: RaMsg::Request { ts },
+            }))
+        });
+    });
+    g.bench_function("suzuki_kasami_on_request", |b| {
+        let mut node = SkConfig::default().build(NodeId(1), 10);
+        node.step(Input::Start);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            std::hint::black_box(node.step(Input::Deliver {
+                from: NodeId(2),
+                msg: SkMsg::Request { seq },
+            }))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_arbiter_request);
+criterion_main!(benches);

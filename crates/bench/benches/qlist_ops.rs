@@ -1,0 +1,54 @@
+//! Microbenchmark: Q-list operations (the token's hot data structure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tokq_protocol::qlist::{Entry, QList};
+use tokq_protocol::types::{NodeId, Priority, SeqNum};
+
+fn filled(n: u32) -> QList {
+    (0..n)
+        .map(|i| Entry::with_priority(NodeId(i), SeqNum(1), Priority(i % 7)))
+        .collect()
+}
+
+fn bench_qlist(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qlist");
+    for n in [10u32, 100, 1000] {
+        g.bench_with_input(BenchmarkId::new("push_back_dedup", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = QList::new();
+                for i in 0..n {
+                    q.push_back(Entry::new(NodeId(i), SeqNum(1)));
+                }
+                std::hint::black_box(q)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("pop_all", n), &n, |b, &n| {
+            b.iter_batched(
+                || filled(n),
+                |mut q| {
+                    while q.pop_head().is_some() {}
+                    std::hint::black_box(q)
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        g.bench_with_input(BenchmarkId::new("contains_miss", n), &n, |b, &n| {
+            let q = filled(n);
+            b.iter(|| std::hint::black_box(q.contains(NodeId(n + 1))));
+        });
+        g.bench_with_input(BenchmarkId::new("sort_by_priority", n), &n, |b, &n| {
+            b.iter_batched(
+                || filled(n),
+                |mut q| {
+                    q.sort_by_priority();
+                    std::hint::black_box(q)
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_qlist);
+criterion_main!(benches);

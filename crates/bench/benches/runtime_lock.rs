@@ -1,0 +1,50 @@
+//! Macrobenchmark: end-to-end lock/unlock latency on the threaded runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tokq_core::Cluster;
+use tokq_protocol::arbiter::ArbiterConfig;
+use tokq_protocol::types::TimeDelta;
+
+fn quick_config() -> ArbiterConfig {
+    // Short phases so benchmark iterations are not dominated by the
+    // default 100 ms collection window.
+    ArbiterConfig::basic()
+        .with_t_collect(TimeDelta::from_micros(200))
+        .with_t_forward(TimeDelta::from_micros(200))
+}
+
+fn bench_lock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_lock");
+    g.sample_size(20);
+    for n in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("uncontended_lock_unlock", n),
+            &n,
+            |b, &n| {
+                let cluster = Cluster::builder(n).config(quick_config()).build();
+                let handle = cluster.handle(0);
+                b.iter(|| {
+                    let g = handle.lock();
+                    std::hint::black_box(&g);
+                });
+                cluster.shutdown();
+            },
+        );
+    }
+    g.bench_function("contended_pair", |b| {
+        let cluster = Cluster::builder(2).config(quick_config()).build();
+        let a = cluster.handle(0);
+        let bh = cluster.handle(1);
+        b.iter(|| {
+            let g1 = a.lock();
+            drop(g1);
+            let g2 = bh.lock();
+            drop(g2);
+        });
+        cluster.shutdown();
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lock);
+criterion_main!(benches);

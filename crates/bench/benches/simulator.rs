@@ -1,0 +1,50 @@
+//! Macrobenchmark: discrete-event simulator throughput (critical sections
+//! simulated per wall-clock second) across algorithms and loads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tokq_bench::{Algo, RunSettings};
+use tokq_protocol::arbiter::ArbiterConfig;
+use tokq_workload::Workload;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    let s = RunSettings {
+        cs_per_point: 2_000,
+        seed: 1,
+        n: 10,
+    };
+    for (name, algo) in [
+        ("arbiter", Algo::Arbiter(ArbiterConfig::basic())),
+        ("ricart_agrawala", Algo::RicartAgrawala),
+        ("suzuki_kasami", Algo::SuzukiKasami),
+        ("raymond", Algo::Raymond),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("saturated_2k_cs", name),
+            &algo,
+            |b, algo| {
+                b.iter(|| {
+                    let mut sim = s.sim(0);
+                    sim.warmup_cs = 100;
+                    std::hint::black_box(algo.run(sim, Workload::saturating(), s.cs_per_point))
+                });
+            },
+        );
+    }
+    g.bench_function("arbiter_poisson_2k_cs", |b| {
+        b.iter(|| {
+            let mut sim = s.sim(1);
+            sim.warmup_cs = 100;
+            std::hint::black_box(Algo::Arbiter(ArbiterConfig::basic()).run(
+                sim,
+                Workload::poisson(1.0),
+                s.cs_per_point,
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Microbenchmark: wire codec encode/decode throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tokq_core::wire::{decode, encode};
+use tokq_protocol::arbiter::{ArbiterMsg, Token};
+use tokq_protocol::qlist::Entry;
+use tokq_protocol::types::{NodeId, Priority, SeqNum};
+
+fn token_with_queue(len: u32) -> Token {
+    let mut t = Token::initial(len as usize + 1);
+    for i in 0..len {
+        t.q.push_back(Entry::with_priority(NodeId(i), SeqNum(3), Priority(1)));
+    }
+    t.round = 77;
+    t
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+    let small = ArbiterMsg::Request {
+        requester: NodeId(3),
+        seq: SeqNum(9),
+        priority: Priority(0),
+        hops: 1,
+    };
+    g.bench_function("encode_request", |b| {
+        b.iter(|| std::hint::black_box(encode(&small)))
+    });
+    let frame = encode(&small);
+    g.bench_function("decode_request", |b| {
+        b.iter(|| std::hint::black_box(decode(&frame).unwrap()))
+    });
+    for len in [10u32, 100] {
+        let msg = ArbiterMsg::Privilege(token_with_queue(len));
+        g.bench_with_input(BenchmarkId::new("encode_privilege", len), &msg, |b, msg| {
+            b.iter(|| std::hint::black_box(encode(msg)))
+        });
+        let frame = encode(&msg);
+        g.bench_with_input(
+            BenchmarkId::new("decode_privilege", len),
+            &frame,
+            |b, frame| b.iter(|| std::hint::black_box(decode(frame).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

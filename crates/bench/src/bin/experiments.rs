@@ -1,0 +1,165 @@
+//! Experiment harness CLI: regenerates every figure of the paper and the
+//! extension experiments.
+//!
+//! ```text
+//! cargo run --release -p tokq-bench --bin experiments -- <command> [options]
+//!
+//! Commands:
+//!   fig2            §2.2 illustrative example timeline (Figure 2)
+//!   fig3            avg messages per CS vs arrival rate (Figure 3)
+//!   fig4            avg delay per CS vs arrival rate (Figure 4)
+//!   fig5            forwarded-request fraction vs arrival rate (Figure 5)
+//!   fig6            comparison vs Ricart–Agrawala / Singhal (Figure 6)
+//!   table-analytic  Eqs. 1/3/4/6 vs simulation across N
+//!   model           batch-service queueing model vs simulation
+//!   tuning          §7 T_req × T_fwd trade-off grid
+//!   scaling         messages/CS at saturation vs N, all algorithms
+//!   baselines       all six algorithms at light/heavy load
+//!   starvation      §4 starvation-free variant + period ablation
+//!   recovery        §6 fault-injection scenarios
+//!   all             everything above, in order
+//!
+//! Options:
+//!   --cs <num>      measured critical sections per point (default 30000)
+//!   --seed <num>    base RNG seed (default 0xB1EFCAFE)
+//!   --n <num>       node count where applicable (default 10)
+//!   --out <dir>     also write each table as CSV into <dir>
+//!   --quick         shorthand for --cs 2000
+//! ```
+
+use std::path::PathBuf;
+
+use tokq_analysis::report::Table;
+use tokq_bench::figures;
+use tokq_bench::RunSettings;
+
+struct Args {
+    command: String,
+    settings: RunSettings,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let mut settings = RunSettings::default();
+    let mut out = None;
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--cs" => {
+                settings.cs_per_point = argv
+                    .next()
+                    .ok_or("--cs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--cs: {e}"))?;
+            }
+            "--seed" => {
+                settings.seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--n" => {
+                settings.n = argv
+                    .next()
+                    .ok_or("--n needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--n: {e}"))?;
+            }
+            "--out" => {
+                out = Some(PathBuf::from(argv.next().ok_or("--out needs a value")?));
+            }
+            "--quick" => settings.cs_per_point = 2_000,
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        command,
+        settings,
+        out,
+    })
+}
+
+fn usage() -> String {
+    "usage: experiments <fig2|fig3|fig4|fig5|fig6|table-analytic|baselines|starvation|recovery|all> \
+     [--cs N] [--seed S] [--n NODES] [--out DIR] [--quick]"
+        .to_owned()
+}
+
+fn emit(table: &Table, out: &Option<PathBuf>) {
+    println!("{}", table.to_ascii());
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir).expect("create output dir");
+        let slug: String = table
+            .title
+            .chars()
+            .take_while(|c| !c.is_whitespace())
+            .collect();
+        let path = dir.join(format!("{slug}.csv"));
+        std::fs::write(&path, table.to_csv()).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let s = args.settings;
+    match args.command.as_str() {
+        "fig2" => print!("{}", figures::fig2()),
+        "fig3" | "fig4" | "fig5" => {
+            let (f3, f4, f5) = figures::fig345(s);
+            match args.command.as_str() {
+                "fig3" => emit(&f3, &args.out),
+                "fig4" => emit(&f4, &args.out),
+                _ => emit(&f5, &args.out),
+            }
+        }
+        "fig345" => {
+            let (f3, f4, f5) = figures::fig345(s);
+            emit(&f3, &args.out);
+            emit(&f4, &args.out);
+            emit(&f5, &args.out);
+        }
+        "fig6" => emit(&figures::fig6(s), &args.out),
+        "table-analytic" => emit(&figures::table_analytic(s), &args.out),
+        "model" => emit(&figures::model_vs_sim(s), &args.out),
+        "tuning" => emit(&figures::tuning(s), &args.out),
+        "scaling" => emit(&figures::scaling(s), &args.out),
+        "baselines" => emit(&figures::baselines(s), &args.out),
+        "starvation" => {
+            for t in figures::starvation(s) {
+                emit(&t, &args.out);
+            }
+        }
+        "recovery" => emit(&figures::recovery(s), &args.out),
+        "all" => {
+            print!("{}", figures::fig2());
+            println!();
+            let (f3, f4, f5) = figures::fig345(s);
+            emit(&f3, &args.out);
+            emit(&f4, &args.out);
+            emit(&f5, &args.out);
+            emit(&figures::fig6(s), &args.out);
+            emit(&figures::table_analytic(s), &args.out);
+            emit(&figures::model_vs_sim(s), &args.out);
+            emit(&figures::tuning(s), &args.out);
+            emit(&figures::scaling(s), &args.out);
+            emit(&figures::baselines(s), &args.out);
+            for t in figures::starvation(s) {
+                emit(&t, &args.out);
+            }
+            emit(&figures::recovery(s), &args.out);
+        }
+        other => {
+            eprintln!("unknown command {other}\n{}", usage());
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Experiment harness for the Banerjee–Chrysanthis reproduction.
+//!
+//! One module per paper artifact; the `experiments` binary exposes them as
+//! subcommands. Every experiment returns [`tokq_analysis::Table`]s that are
+//! printed as ASCII and optionally written as CSV.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod figures;
+pub mod runner;
+
+pub use runner::{Algo, RunSettings};

@@ -1,0 +1,141 @@
+//! Shared experiment plumbing: algorithm selection and point runners.
+
+use tokq_protocol::arbiter::ArbiterConfig;
+use tokq_protocol::centralized::CentralConfig;
+use tokq_protocol::maekawa::MaekawaConfig;
+use tokq_protocol::raymond::RaymondConfig;
+use tokq_protocol::ricart_agrawala::RaConfig;
+use tokq_protocol::singhal::SinghalConfig;
+use tokq_protocol::suzuki_kasami::SkConfig;
+use tokq_simnet::metrics::Report;
+use tokq_simnet::sim::{SimConfig, Simulation};
+use tokq_workload::Workload;
+
+/// The algorithms the harness can simulate.
+#[derive(Debug, Clone)]
+pub enum Algo {
+    /// The paper's rotating-arbiter algorithm under the given config.
+    Arbiter(ArbiterConfig),
+    /// Ricart–Agrawala (Figure 6's static comparator).
+    RicartAgrawala,
+    /// Singhal's dynamic algorithm (Figure 6's dynamic comparator).
+    Singhal,
+    /// Suzuki–Kasami broadcast token algorithm.
+    SuzukiKasami,
+    /// Raymond's tree token algorithm.
+    Raymond,
+    /// Maekawa's √N quorum algorithm.
+    Maekawa,
+    /// Central coordinator baseline.
+    Centralized,
+}
+
+impl Algo {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Arbiter(_) => "arbiter",
+            Algo::RicartAgrawala => "ricart-agrawala",
+            Algo::Singhal => "singhal",
+            Algo::SuzukiKasami => "suzuki-kasami",
+            Algo::Raymond => "raymond",
+            Algo::Maekawa => "maekawa",
+            Algo::Centralized => "centralized",
+        }
+    }
+
+    /// Runs this algorithm under `sim`/`workload` until `target_cs`
+    /// measured completions.
+    pub fn run(&self, sim: SimConfig, workload: Workload, target_cs: u64) -> Report {
+        match self {
+            Algo::Arbiter(cfg) => {
+                Simulation::build(sim, cfg.clone(), workload).run_until_cs(target_cs)
+            }
+            Algo::RicartAgrawala => {
+                Simulation::build(sim, RaConfig, workload).run_until_cs(target_cs)
+            }
+            Algo::Singhal => {
+                Simulation::build(sim, SinghalConfig, workload).run_until_cs(target_cs)
+            }
+            Algo::SuzukiKasami => {
+                Simulation::build(sim, SkConfig::default(), workload).run_until_cs(target_cs)
+            }
+            Algo::Raymond => {
+                Simulation::build(sim, RaymondConfig::default(), workload).run_until_cs(target_cs)
+            }
+            Algo::Maekawa => {
+                Simulation::build(sim, MaekawaConfig, workload).run_until_cs(target_cs)
+            }
+            Algo::Centralized => {
+                Simulation::build(sim, CentralConfig::default(), workload).run_until_cs(target_cs)
+            }
+        }
+    }
+}
+
+/// Knobs common to all experiments (overridable from the CLI).
+#[derive(Debug, Clone, Copy)]
+pub struct RunSettings {
+    /// Measured critical sections per sweep point.
+    pub cs_per_point: u64,
+    /// Base RNG seed; each point perturbs it deterministically.
+    pub seed: u64,
+    /// Number of nodes (the paper uses 10).
+    pub n: usize,
+}
+
+impl Default for RunSettings {
+    fn default() -> Self {
+        RunSettings {
+            cs_per_point: 30_000,
+            seed: 0xB1EF_CAFE,
+            n: 10,
+        }
+    }
+}
+
+impl RunSettings {
+    /// The simulator configuration for sweep point `idx`.
+    pub fn sim(&self, idx: u64) -> SimConfig {
+        SimConfig::paper_defaults(self.n).with_seed(self.seed ^ (idx.wrapping_mul(0x9e37)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_algorithm_completes_a_small_run() {
+        let s = RunSettings {
+            cs_per_point: 50,
+            seed: 7,
+            n: 5,
+        };
+        for algo in [
+            Algo::Arbiter(ArbiterConfig::basic()),
+            Algo::RicartAgrawala,
+            Algo::Singhal,
+            Algo::SuzukiKasami,
+            Algo::Raymond,
+            Algo::Maekawa,
+            Algo::Centralized,
+        ] {
+            let mut sim = s.sim(0);
+            sim.warmup_cs = 10;
+            let r = algo.run(sim, Workload::poisson(2.0), s.cs_per_point);
+            assert!(
+                r.cs_measured >= s.cs_per_point,
+                "{} finished only {} CS",
+                algo.name(),
+                r.cs_measured
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_differ_across_points() {
+        let s = RunSettings::default();
+        assert_ne!(s.sim(0).seed, s.sim(1).seed);
+    }
+}

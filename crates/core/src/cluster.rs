@@ -1,0 +1,377 @@
+//! The user-facing runtime: an in-process cluster of arbiter nodes with a
+//! distributed-mutex API.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+use tokq_protocol::api::ProtocolFactory;
+use tokq_protocol::arbiter::ArbiterConfig;
+use tokq_protocol::types::NodeId;
+
+use crate::metrics::ClusterMetrics;
+use crate::node::{NodeEvent, NodeLoop};
+use crate::tcp::{TcpReceiver, TcpSender};
+use crate::transport::{ChannelTransport, Envelope, NetOptions, Wire};
+
+/// Builder for a [`Cluster`].
+///
+/// # Examples
+///
+/// ```
+/// use tokq_core::Cluster;
+///
+/// let cluster = Cluster::builder(3).build();
+/// let handle = cluster.handle(1);
+/// {
+///     let _guard = handle.lock();
+///     // critical section
+/// }
+/// cluster.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    n: usize,
+    config: ArbiterConfig,
+    net: NetOptions,
+    tcp: bool,
+}
+
+impl ClusterBuilder {
+    /// Sets the protocol configuration (variant, phase durations, …).
+    #[must_use]
+    pub fn config(mut self, config: ArbiterConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the transport behaviour (delay, jitter, loss).
+    #[must_use]
+    pub fn net(mut self, net: NetOptions) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Moves inter-node traffic onto real loopback TCP sockets (framed by
+    /// [`crate::tcp`]) instead of in-process channels. `net` delay/loss
+    /// options do not apply in this mode — the loopback stack is the
+    /// network.
+    #[must_use]
+    pub fn tcp(mut self) -> Self {
+        self.tcp = true;
+        self
+    }
+
+    /// Spawns the node threads and returns the running cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node count is zero.
+    pub fn build(self) -> Cluster {
+        assert!(self.n > 0, "cluster needs at least one node");
+        let metrics = ClusterMetrics::new();
+        let mut node_txs = Vec::with_capacity(self.n);
+        let mut node_rxs = Vec::with_capacity(self.n);
+        for _ in 0..self.n {
+            let (tx, rx) = unbounded::<NodeEvent>();
+            node_txs.push(tx);
+            node_rxs.push(rx);
+        }
+
+        let mut pump_threads = Vec::new();
+        let mut tcp_receivers = Vec::new();
+        let transport: Arc<dyn Wire> = if self.tcp {
+            // One loopback listener per node, ephemeral ports.
+            let mut addrs = Vec::with_capacity(self.n);
+            for tx in &node_txs {
+                let recv = TcpReceiver::bind(
+                    "127.0.0.1:0".parse().expect("loopback addr"),
+                    tx.clone(),
+                )
+                .expect("bind loopback listener");
+                addrs.push(recv.local_addr());
+                tcp_receivers.push(recv);
+            }
+            Arc::new(TcpSender::new(addrs))
+        } else {
+            // The channel transport needs inbox senders that wrap
+            // envelopes into NodeEvents: a tiny pump per node.
+            let mut wire_txs = Vec::with_capacity(self.n);
+            for tx in &node_txs {
+                let (wtx, wrx) = unbounded::<Envelope>();
+                let tx = tx.clone();
+                let h = std::thread::Builder::new()
+                    .name("tokq-pump".into())
+                    .spawn(move || {
+                        while let Ok(env) = wrx.recv() {
+                            if tx
+                                .send(NodeEvent::Wire {
+                                    from: env.from,
+                                    frame: env.frame,
+                                })
+                                .is_err()
+                            {
+                                return;
+                            }
+                        }
+                    })
+                    .expect("spawn pump thread");
+                wire_txs.push(wtx);
+                pump_threads.push(h);
+            }
+            Arc::new(ChannelTransport::new(wire_txs, self.net))
+        };
+
+        let mut threads = Vec::with_capacity(self.n);
+        for (i, rx) in node_rxs.into_iter().enumerate() {
+            let protocol = self.config.build(NodeId::from_index(i), self.n);
+            let node_loop =
+                NodeLoop::new(protocol, rx, Arc::clone(&transport), Arc::clone(&metrics));
+            let h = std::thread::Builder::new()
+                .name(format!("tokq-node-{i}"))
+                .spawn(move || node_loop.run())
+                .expect("spawn node thread");
+            threads.push(h);
+        }
+        Cluster {
+            node_txs,
+            threads,
+            pump_threads,
+            tcp_receivers,
+            transport: Some(transport),
+            metrics,
+        }
+    }
+}
+
+/// A running in-process cluster of arbiter-mutex nodes.
+///
+/// Each node runs on its own thread; messages travel as encoded frames
+/// through a (optionally delayed and lossy) channel transport. The cluster
+/// is the distributed-systems equivalent of a `Mutex`: obtain per-node
+/// [`MutexHandle`]s and lock through them.
+pub struct Cluster {
+    node_txs: Vec<Sender<NodeEvent>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    pump_threads: Vec<std::thread::JoinHandle<()>>,
+    tcp_receivers: Vec<TcpReceiver>,
+    transport: Option<Arc<dyn Wire>>,
+    metrics: Arc<ClusterMetrics>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.node_txs.len())
+            .field("tcp", &!self.tcp_receivers.is_empty())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cluster {
+    /// Starts building an `n`-node cluster with default configuration.
+    pub fn builder(n: usize) -> ClusterBuilder {
+        ClusterBuilder {
+            n,
+            config: ArbiterConfig::fault_tolerant(),
+            net: NetOptions::instant(),
+            tcp: false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.node_txs.len()
+    }
+
+    /// True when the cluster has no nodes (never; builder enforces ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.node_txs.is_empty()
+    }
+
+    /// A lock handle bound to `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn handle(&self, node: usize) -> MutexHandle {
+        MutexHandle {
+            node: NodeId::from_index(node),
+            tx: self.node_txs[node].clone(),
+        }
+    }
+
+    /// Crashes `node`: volatile protocol state is lost and the node stops
+    /// reacting until [`Cluster::recover`].
+    pub fn crash(&self, node: usize) {
+        let _ = self.node_txs[node].send(NodeEvent::Crash);
+    }
+
+    /// Recovers a crashed node with fresh state.
+    pub fn recover(&self, node: usize) {
+        let _ = self.node_txs[node].send(NodeEvent::Recover);
+    }
+
+    /// Shared metrics (messages, completions, notes).
+    pub fn metrics(&self) -> &ClusterMetrics {
+        &self.metrics
+    }
+
+    /// A shared handle to the metrics that outlives the cluster — useful
+    /// for reading final counts after [`Cluster::shutdown`].
+    pub fn metrics_handle(&self) -> Arc<ClusterMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Stops every node thread and the transport. Called automatically on
+    /// drop; explicit calls make shutdown order deterministic in tests.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for tx in &self.node_txs {
+            let _ = tx.send(NodeEvent::Shutdown);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.node_txs.clear();
+        // The node threads dropped their transport clones on exit; drop
+        // ours too so the envelope senders close and the pump threads can
+        // observe a disconnected channel and terminate.
+        self.transport = None;
+        for t in self.pump_threads.drain(..) {
+            let _ = t.join();
+        }
+        for mut r in self.tcp_receivers.drain(..) {
+            r.shutdown();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        if !self.threads.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// A handle for requesting the distributed lock from one node.
+///
+/// Clone freely; clones address the same node.
+#[derive(Debug, Clone)]
+pub struct MutexHandle {
+    node: NodeId,
+    tx: Sender<NodeEvent>,
+}
+
+impl MutexHandle {
+    /// The node this handle locks through.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Blocks until the distributed lock is granted, returning an RAII
+    /// guard that releases on drop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has shut down.
+    pub fn lock(&self) -> LockGuard {
+        self.try_lock_for(Duration::MAX)
+            .expect("cluster shut down while waiting for the lock")
+    }
+
+    /// Like [`MutexHandle::lock`] with a timeout; `None` on timeout or
+    /// cluster shutdown. An abandoned grant is released automatically.
+    pub fn try_lock_for(&self, timeout: Duration) -> Option<LockGuard> {
+        let (grant_tx, grant_rx) = bounded::<()>(1);
+        self.tx.send(NodeEvent::Acquire { grant: grant_tx }).ok()?;
+        if timeout == Duration::MAX {
+            grant_rx.recv().ok()?;
+        } else {
+            grant_rx.recv_timeout(timeout).ok()?;
+        }
+        Some(LockGuard {
+            tx: self.tx.clone(),
+        })
+    }
+}
+
+/// RAII guard for the distributed critical section: the lock is held from
+/// grant until the guard drops.
+#[derive(Debug)]
+pub struct LockGuard {
+    tx: Sender<NodeEvent>,
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = self.tx.send(NodeEvent::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn single_node_lock_unlock() {
+        let cluster = Cluster::builder(1).build();
+        let metrics = cluster.metrics_handle();
+        let h = cluster.handle(0);
+        for _ in 0..3 {
+            let g = h.lock();
+            drop(g);
+        }
+        // Shutdown joins the node threads, so all releases are processed.
+        cluster.shutdown();
+        assert_eq!(metrics.cs_completed_total(), 3);
+    }
+
+    #[test]
+    fn lock_is_mutually_exclusive_across_nodes() {
+        let cluster = Arc::new(Cluster::builder(4).build());
+        let counter = Arc::new(AtomicU32::new(0));
+        let mut joins = Vec::new();
+        for i in 0..4 {
+            let h = cluster.handle(i);
+            let counter = Arc::clone(&counter);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    let _g = h.lock();
+                    // If two guards ever coexist this goes above 1.
+                    let c = counter.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(c, 0, "two nodes inside the critical section");
+                    std::thread::sleep(Duration::from_micros(200));
+                    counter.fetch_sub(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().expect("worker");
+        }
+        let cluster = Arc::try_unwrap(cluster).expect("sole owner");
+        let metrics = cluster.metrics_handle();
+        cluster.shutdown();
+        assert_eq!(metrics.cs_completed_total(), 40);
+    }
+
+    #[test]
+    fn try_lock_timeout_returns_none_and_recovers() {
+        let cluster = Cluster::builder(2).build();
+        let a = cluster.handle(0);
+        let b = cluster.handle(1);
+        let g = a.lock();
+        // b cannot get it while a holds it.
+        assert!(b.try_lock_for(Duration::from_millis(100)).is_none());
+        drop(g);
+        // The abandoned grant auto-releases; b can lock now.
+        let g2 = b.try_lock_for(Duration::from_secs(10)).expect("granted");
+        drop(g2);
+        cluster.shutdown();
+    }
+}

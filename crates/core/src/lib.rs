@@ -1,0 +1,44 @@
+//! Threaded runtime for the Banerjee–Chrysanthis token-passing distributed
+//! mutex: the *production* face of the reproduction.
+//!
+//! The same sans-io state machine that regenerates the paper's figures in
+//! the simulator here runs on real threads: each node has an event loop
+//! with real timers, messages travel as binary frames through an
+//! (optionally delayed and lossy) channel transport, and applications take
+//! the lock through RAII guards.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tokq_core::Cluster;
+//!
+//! let cluster = Cluster::builder(3).build();
+//! let handle = cluster.handle(0);
+//! {
+//!     let _guard = handle.lock(); // distributed critical section
+//! }
+//! cluster.shutdown();
+//! ```
+//!
+//! # Fault tolerance
+//!
+//! Clusters default to [`tokq_protocol::arbiter::ArbiterConfig::fault_tolerant`],
+//! enabling the paper's §4.1 starvation-free monitor and §6 recovery
+//! (token-loss detection, two-phase invalidation, arbiter takeover).
+//! [`Cluster::crash`] and [`Cluster::recover`] inject real node failures.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod metrics;
+mod node;
+pub mod tcp;
+pub mod transport;
+pub mod wire;
+
+pub use cluster::{Cluster, ClusterBuilder, LockGuard, MutexHandle};
+pub use metrics::ClusterMetrics;
+pub use transport::NetOptions;
+pub use wire::{decode, encode, WireError};

@@ -1,0 +1,100 @@
+//! Shared runtime metrics, mirroring the simulator's counters.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Cluster-wide counters, shared by all node threads.
+#[derive(Debug, Default)]
+pub struct ClusterMetrics {
+    messages_total: AtomicU64,
+    cs_completed: AtomicU64,
+    by_kind: Mutex<BTreeMap<&'static str, u64>>,
+    notes: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl ClusterMetrics {
+    /// A fresh zeroed metrics sink.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    pub(crate) fn message(&self, kind: &'static str) {
+        self.messages_total.fetch_add(1, Ordering::Relaxed);
+        *self.by_kind.lock().entry(kind).or_insert(0) += 1;
+    }
+
+    pub(crate) fn note(&self, label: &'static str) {
+        *self.notes.lock().entry(label).or_insert(0) += 1;
+    }
+
+    pub(crate) fn cs_completed(&self) {
+        self.cs_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total messages transmitted so far.
+    pub fn messages_total(&self) -> u64 {
+        self.messages_total.load(Ordering::Relaxed)
+    }
+
+    /// Total critical sections completed so far.
+    pub fn cs_completed_total(&self) -> u64 {
+        self.cs_completed.load(Ordering::Relaxed)
+    }
+
+    /// Average messages per completed critical section (NaN before the
+    /// first completion).
+    pub fn messages_per_cs(&self) -> f64 {
+        let cs = self.cs_completed_total();
+        if cs == 0 {
+            return f64::NAN;
+        }
+        self.messages_total() as f64 / cs as f64
+    }
+
+    /// Snapshot of per-kind message counts.
+    pub fn by_kind(&self) -> BTreeMap<String, u64> {
+        self.by_kind
+            .lock()
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), *v))
+            .collect()
+    }
+
+    /// Snapshot of protocol note counts.
+    pub fn notes(&self) -> BTreeMap<String, u64> {
+        self.notes
+            .lock()
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), *v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ClusterMetrics::new();
+        m.message("REQUEST");
+        m.message("REQUEST");
+        m.message("PRIVILEGE");
+        m.note("qlist_sealed");
+        m.cs_completed();
+        assert_eq!(m.messages_total(), 3);
+        assert_eq!(m.cs_completed_total(), 1);
+        assert_eq!(m.messages_per_cs(), 3.0);
+        assert_eq!(m.by_kind()["REQUEST"], 2);
+        assert_eq!(m.notes()["qlist_sealed"], 1);
+    }
+
+    #[test]
+    fn empty_ratio_is_nan() {
+        let m = ClusterMetrics::new();
+        assert!(m.messages_per_cs().is_nan());
+    }
+}

@@ -1,0 +1,261 @@
+//! The per-node event loop: drives an [`ArbiterNode`] state machine with
+//! real messages, real timers, and application lock requests.
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use tokq_protocol::api::Protocol;
+use tokq_protocol::arbiter::{ArbiterMsg, ArbiterNode, ArbiterTimer};
+use tokq_protocol::event::{Action, Input};
+use tokq_protocol::types::NodeId;
+
+use crate::metrics::ClusterMetrics;
+use crate::transport::{Envelope, Wire};
+use crate::wire;
+
+/// Events consumed by a node thread.
+#[derive(Debug)]
+pub(crate) enum NodeEvent {
+    /// An encoded protocol frame arrived.
+    Wire { from: NodeId, frame: bytes::Bytes },
+    /// An application thread wants the lock; the sender is signalled when
+    /// the critical section is granted.
+    Acquire { grant: Sender<()> },
+    /// The guard was dropped: the critical section is over.
+    Release,
+    /// Simulated process crash (volatile state lost).
+    Crash,
+    /// Restart after a crash.
+    Recover,
+    /// Terminate the event loop.
+    Shutdown,
+}
+
+struct PendingTimer {
+    due: Instant,
+    gen: u64,
+    timer: ArbiterTimer,
+}
+
+impl PartialEq for PendingTimer {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.gen == other.gen
+    }
+}
+impl Eq for PendingTimer {}
+impl PartialOrd for PendingTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.due.cmp(&self.due).then_with(|| other.gen.cmp(&self.gen))
+    }
+}
+
+pub(crate) struct NodeLoop {
+    id: NodeId,
+    protocol: ArbiterNode,
+    rx: Receiver<NodeEvent>,
+    transport: Arc<dyn Wire>,
+    metrics: Arc<ClusterMetrics>,
+    n: usize,
+
+    timers: BinaryHeap<PendingTimer>,
+    timer_gen: HashMap<ArbiterTimer, u64>,
+
+    waiters: VecDeque<Sender<()>>,
+    engaged: bool,
+    in_cs: bool,
+    alive: bool,
+    /// Internally generated events processed before external ones
+    /// (e.g. auto-release when a grantee abandoned its request).
+    backlog: VecDeque<NodeEvent>,
+}
+
+impl NodeLoop {
+    pub(crate) fn new(
+        protocol: ArbiterNode,
+        rx: Receiver<NodeEvent>,
+        transport: Arc<dyn Wire>,
+        metrics: Arc<ClusterMetrics>,
+    ) -> Self {
+        let id = protocol.id();
+        let n = protocol.num_nodes();
+        NodeLoop {
+            id,
+            protocol,
+            rx,
+            transport,
+            metrics,
+            n,
+            timers: BinaryHeap::new(),
+            timer_gen: HashMap::new(),
+            waiters: VecDeque::new(),
+            engaged: false,
+            in_cs: false,
+            alive: true,
+            backlog: VecDeque::new(),
+        }
+    }
+
+    pub(crate) fn run(mut self) {
+        self.dispatch(Input::Start);
+        loop {
+            if let Some(ev) = self.backlog.pop_front() {
+                if self.handle(ev) {
+                    return;
+                }
+                continue;
+            }
+            self.fire_due_timers();
+            let wait = self
+                .timers
+                .peek()
+                .map(|t| t.due.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(100));
+            match self.rx.recv_timeout(wait) {
+                Ok(ev) => {
+                    if self.handle(ev) {
+                        return;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Returns `true` on shutdown.
+    fn handle(&mut self, ev: NodeEvent) -> bool {
+        match ev {
+            NodeEvent::Wire { from, frame } => {
+                if !self.alive {
+                    return false;
+                }
+                match wire::decode(&frame) {
+                    Ok(msg) => self.dispatch(Input::Deliver { from, msg }),
+                    Err(err) => {
+                        // A corrupt frame is dropped like a lost message.
+                        self.metrics.note("wire_decode_error");
+                        let _ = err;
+                    }
+                }
+            }
+            NodeEvent::Acquire { grant } => {
+                self.waiters.push_back(grant);
+                self.pump_lock();
+            }
+            NodeEvent::Release => {
+                if self.in_cs {
+                    self.in_cs = false;
+                    self.engaged = false;
+                    self.metrics.cs_completed();
+                    self.dispatch(Input::CsDone);
+                    self.pump_lock();
+                }
+            }
+            NodeEvent::Crash => {
+                if self.alive {
+                    self.dispatch(Input::Crash);
+                    self.alive = false;
+                    self.in_cs = false;
+                    self.engaged = false;
+                    self.waiters.clear();
+                    self.timers.clear();
+                    self.timer_gen.clear();
+                }
+            }
+            NodeEvent::Recover => {
+                if !self.alive {
+                    self.alive = true;
+                    self.dispatch(Input::Recover);
+                }
+            }
+            NodeEvent::Shutdown => return true,
+        }
+        false
+    }
+
+    fn pump_lock(&mut self) {
+        if self.alive && !self.engaged && !self.in_cs && !self.waiters.is_empty() {
+            self.engaged = true;
+            self.dispatch(Input::RequestCs);
+        }
+    }
+
+    fn fire_due_timers(&mut self) {
+        loop {
+            let now = Instant::now();
+            let Some(top) = self.timers.peek() else {
+                return;
+            };
+            if top.due > now {
+                return;
+            }
+            let t = self.timers.pop().expect("peeked");
+            let live = self.timer_gen.get(&t.timer).is_some_and(|&g| g == t.gen);
+            if live && self.alive {
+                self.dispatch(Input::Timer(t.timer));
+            }
+        }
+    }
+
+    fn dispatch(&mut self, input: Input<ArbiterMsg, ArbiterTimer>) {
+        let actions = self.protocol.step(input);
+        self.execute(actions);
+    }
+
+    fn execute(&mut self, actions: Vec<Action<ArbiterMsg, ArbiterTimer>>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => self.transmit(to, &msg),
+                Action::Broadcast { msg, except } => {
+                    for i in 0..self.n {
+                        let to = NodeId::from_index(i);
+                        if to != self.id && !except.contains(&to) {
+                            self.transmit(to, &msg);
+                        }
+                    }
+                }
+                Action::SetTimer { timer, after } => {
+                    let gen = self.timer_gen.entry(timer).or_insert(0);
+                    *gen += 1;
+                    self.timers.push(PendingTimer {
+                        due: Instant::now() + after.into(),
+                        gen: *gen,
+                        timer,
+                    });
+                }
+                Action::CancelTimer(timer) => {
+                    *self.timer_gen.entry(timer).or_insert(0) += 1;
+                }
+                Action::EnterCs => {
+                    self.in_cs = true;
+                    match self.waiters.pop_front() {
+                        Some(grant) if grant.send(()).is_ok() => {}
+                        _ => {
+                            // The waiter gave up (timeout) or vanished:
+                            // release immediately so the token moves on.
+                            self.backlog.push_back(NodeEvent::Release);
+                        }
+                    }
+                }
+                Action::Note(note) => self.metrics.note(note.label()),
+            }
+        }
+    }
+
+    fn transmit(&self, to: NodeId, msg: &ArbiterMsg) {
+        use tokq_protocol::api::ProtocolMessage;
+        self.metrics.message(msg.kind());
+        self.transport.send(Envelope {
+            from: self.id,
+            to,
+            frame: wire::encode(msg),
+        });
+    }
+}

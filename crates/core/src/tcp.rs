@@ -1,0 +1,267 @@
+//! TCP transport: the cluster's nodes exchange frames over real loopback
+//! (or LAN) sockets instead of in-process channels.
+//!
+//! The framing is `[u32 len][u32 sender][payload]` (big-endian), with the
+//! payload being the [`crate::wire`] encoding of the protocol message.
+//! Connections are opened lazily per destination and dropped on any I/O
+//! error — a lost frame is equivalent to a lossy network, which the
+//! fault-tolerant protocol configuration already handles.
+
+use std::io::{Read, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+use tokq_protocol::types::NodeId;
+
+use crate::node::NodeEvent;
+use crate::transport::{Envelope, Wire};
+
+/// Maximum accepted frame payload (a PRIVILEGE for thousands of nodes is
+/// far below this; anything bigger is corruption).
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// The sending half: lazily-connected streams to every peer.
+pub struct TcpSender {
+    addrs: Vec<SocketAddr>,
+    conns: Vec<Mutex<Option<TcpStream>>>,
+    connect_timeout: Duration,
+}
+
+impl std::fmt::Debug for TcpSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpSender")
+            .field("peers", &self.addrs.len())
+            .finish()
+    }
+}
+
+impl TcpSender {
+    /// A sender that can reach every address in `addrs` (indexed by node).
+    pub fn new(addrs: Vec<SocketAddr>) -> Self {
+        let conns = (0..addrs.len()).map(|_| Mutex::new(None)).collect();
+        TcpSender {
+            addrs,
+            conns,
+            connect_timeout: Duration::from_millis(500),
+        }
+    }
+
+    fn try_send(&self, env: &Envelope) -> std::io::Result<()> {
+        let idx = env.to.index();
+        let addr = self.addrs[idx];
+        let mut slot = self.conns[idx].lock();
+        if slot.is_none() {
+            let stream = TcpStream::connect_timeout(&addr, self.connect_timeout)?;
+            stream.set_nodelay(true)?;
+            *slot = Some(stream);
+        }
+        let stream = slot.as_mut().expect("just connected");
+        let mut header = [0u8; 8];
+        header[..4].copy_from_slice(&(env.frame.len() as u32).to_be_bytes());
+        header[4..].copy_from_slice(&env.from.0.to_be_bytes());
+        let result = stream
+            .write_all(&header)
+            .and_then(|()| stream.write_all(&env.frame));
+        if result.is_err() {
+            *slot = None; // reconnect next time
+        }
+        result
+    }
+}
+
+impl Wire for TcpSender {
+    fn send(&self, env: Envelope) {
+        // Best-effort: one reconnect attempt, then treat as lost.
+        if self.try_send(&env).is_err() {
+            let _ = self.try_send(&env);
+        }
+    }
+}
+
+/// The receiving half: accepts connections and pumps decoded frames into a
+/// node's event inbox.
+#[derive(Debug)]
+pub struct TcpReceiver {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpReceiver {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting; every received frame becomes a [`NodeEvent::Wire`] on
+    /// `inbox`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket-binding error.
+    pub(crate) fn bind(addr: SocketAddr, inbox: Sender<NodeEvent>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("tokq-tcp-accept".into())
+            .spawn(move || accept_loop(listener, inbox, stop2))?;
+        Ok(TcpReceiver {
+            local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The actually-bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Stops accepting and joins the accept thread. Reader threads for
+    /// established connections exit when their peers disconnect.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() with a dummy connection.
+        let _ = TcpStream::connect_timeout(&self.local, Duration::from_millis(200));
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpReceiver {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, inbox: Sender<NodeEvent>, stop: Arc<AtomicBool>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let inbox = inbox.clone();
+                let _ = std::thread::Builder::new()
+                    .name("tokq-tcp-read".into())
+                    .spawn(move || read_loop(stream, inbox));
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn read_loop(mut stream: TcpStream, inbox: Sender<NodeEvent>) {
+    let mut header = [0u8; 8];
+    loop {
+        if stream.read_exact(&mut header).is_err() {
+            return;
+        }
+        let len = u32::from_be_bytes(header[..4].try_into().expect("4 bytes"));
+        let from = u32::from_be_bytes(header[4..].try_into().expect("4 bytes"));
+        if len > MAX_FRAME {
+            return; // corrupt stream: drop the connection
+        }
+        let mut payload = vec![0u8; len as usize];
+        if stream.read_exact(&mut payload).is_err() {
+            return;
+        }
+        if inbox
+            .send(NodeEvent::Wire {
+                from: NodeId(from),
+                frame: Bytes::from(payload),
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    fn loopback() -> SocketAddr {
+        "127.0.0.1:0".parse().expect("valid addr")
+    }
+
+    #[test]
+    fn frame_roundtrips_over_loopback() {
+        let (tx, rx) = unbounded();
+        let recv = TcpReceiver::bind(loopback(), tx).expect("bind");
+        let sender = TcpSender::new(vec![recv.local_addr()]);
+        sender.send(Envelope {
+            from: NodeId(7),
+            to: NodeId(0),
+            frame: Bytes::from_static(b"hello tcp"),
+        });
+        let ev = rx.recv_timeout(Duration::from_secs(5)).expect("delivered");
+        match ev {
+            NodeEvent::Wire { from, frame } => {
+                assert_eq!(from, NodeId(7));
+                assert_eq!(&frame[..], b"hello tcp");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn many_frames_keep_order_per_connection() {
+        let (tx, rx) = unbounded();
+        let recv = TcpReceiver::bind(loopback(), tx).expect("bind");
+        let sender = TcpSender::new(vec![recv.local_addr()]);
+        for i in 0..100u8 {
+            sender.send(Envelope {
+                from: NodeId(1),
+                to: NodeId(0),
+                frame: Bytes::from(vec![i]),
+            });
+        }
+        for i in 0..100u8 {
+            match rx.recv_timeout(Duration::from_secs(5)).expect("frame") {
+                NodeEvent::Wire { frame, .. } => assert_eq!(frame[0], i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn send_to_dead_peer_is_best_effort() {
+        // Bind and immediately shut down to get a dead address.
+        let (tx, _rx) = unbounded();
+        let mut recv = TcpReceiver::bind(loopback(), tx).expect("bind");
+        let addr = recv.local_addr();
+        recv.shutdown();
+        drop(recv);
+        let sender = TcpSender::new(vec![addr]);
+        // Must not panic or hang.
+        sender.send(Envelope {
+            from: NodeId(0),
+            to: NodeId(0),
+            frame: Bytes::from_static(b"x"),
+        });
+    }
+
+    #[test]
+    fn oversized_frame_drops_connection_not_process() {
+        let (tx, rx) = unbounded();
+        let recv = TcpReceiver::bind(loopback(), tx).expect("bind");
+        // Hand-craft a corrupt header claiming a gigantic frame.
+        let mut s = TcpStream::connect(recv.local_addr()).expect("connect");
+        let mut header = [0u8; 8];
+        header[..4].copy_from_slice(&u32::MAX.to_be_bytes());
+        s.write_all(&header).expect("write");
+        // The reader must simply drop the connection; nothing delivered.
+        assert!(rx.recv_timeout(Duration::from_millis(300)).is_err());
+    }
+}

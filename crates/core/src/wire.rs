@@ -1,0 +1,409 @@
+//! Hand-rolled binary wire codec for arbiter protocol messages.
+//!
+//! The runtime moves messages between node threads as opaque byte frames,
+//! exactly as a socket transport would, so the encode/decode path is
+//! exercised by every cluster test. The format is a compact tagged binary
+//! encoding over [`bytes`]; a one-byte version prefix guards against
+//! format drift.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tokq_protocol::arbiter::{ArbiterMsg, Token, TokenStatus};
+use tokq_protocol::qlist::{Entry, QList};
+use tokq_protocol::types::{NodeId, Priority, SeqNum};
+
+/// Wire format version byte.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Errors produced while decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame ended before the structure was complete.
+    Truncated,
+    /// The version byte did not match [`WIRE_VERSION`].
+    BadVersion(u8),
+    /// An unknown message or status tag was encountered.
+    BadTag(u8),
+    /// Trailing bytes followed a complete message.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadTag(t) => write!(f, "unknown tag {t}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn put_qlist(out: &mut BytesMut, q: &QList) {
+    out.put_u32(q.len() as u32);
+    for e in q.iter() {
+        out.put_u32(e.node.0);
+        out.put_u64(e.seq.0);
+        out.put_u32(e.priority.0);
+    }
+}
+
+fn get_qlist(buf: &mut Bytes) -> Result<QList, WireError> {
+    need(buf, 4)?;
+    let len = buf.get_u32() as usize;
+    let mut q = QList::new();
+    for _ in 0..len {
+        need(buf, 16)?;
+        let node = NodeId(buf.get_u32());
+        let seq = SeqNum(buf.get_u64());
+        let priority = Priority(buf.get_u32());
+        q.push_back(Entry::with_priority(node, seq, priority));
+    }
+    Ok(q)
+}
+
+fn put_token(out: &mut BytesMut, t: &Token) {
+    put_qlist(out, &t.q);
+    out.put_u32(t.last_granted.len() as u32);
+    for s in &t.last_granted {
+        out.put_u64(s.0);
+    }
+    out.put_u64(t.round);
+    out.put_u64(t.epoch);
+    out.put_u8(u8::from(t.via_monitor));
+}
+
+fn get_token(buf: &mut Bytes) -> Result<Token, WireError> {
+    let q = get_qlist(buf)?;
+    need(buf, 4)?;
+    let n = buf.get_u32() as usize;
+    let mut last_granted = Vec::with_capacity(n);
+    for _ in 0..n {
+        need(buf, 8)?;
+        last_granted.push(SeqNum(buf.get_u64()));
+    }
+    need(buf, 17)?;
+    let round = buf.get_u64();
+    let epoch = buf.get_u64();
+    let via_monitor = buf.get_u8() != 0;
+    Ok(Token {
+        q,
+        last_granted,
+        round,
+        epoch,
+        via_monitor,
+    })
+}
+
+fn put_opt_node(out: &mut BytesMut, node: Option<NodeId>) {
+    match node {
+        Some(n) => {
+            out.put_u8(1);
+            out.put_u32(n.0);
+        }
+        None => out.put_u8(0),
+    }
+}
+
+fn get_opt_node(buf: &mut Bytes) -> Result<Option<NodeId>, WireError> {
+    need(buf, 1)?;
+    if buf.get_u8() == 0 {
+        Ok(None)
+    } else {
+        need(buf, 4)?;
+        Ok(Some(NodeId(buf.get_u32())))
+    }
+}
+
+/// Encodes a message into an owned frame.
+pub fn encode(msg: &ArbiterMsg) -> Bytes {
+    let mut out = BytesMut::with_capacity(64);
+    out.put_u8(WIRE_VERSION);
+    match msg {
+        ArbiterMsg::Request {
+            requester,
+            seq,
+            priority,
+            hops,
+        } => {
+            out.put_u8(0);
+            out.put_u32(requester.0);
+            out.put_u64(seq.0);
+            out.put_u32(priority.0);
+            out.put_u32(*hops);
+        }
+        ArbiterMsg::Privilege(token) => {
+            out.put_u8(1);
+            put_token(&mut out, token);
+        }
+        ArbiterMsg::NewArbiter {
+            arbiter,
+            q,
+            prev,
+            round,
+            counter,
+            epoch,
+            monitor,
+        } => {
+            out.put_u8(2);
+            out.put_u32(arbiter.0);
+            put_qlist(&mut out, q);
+            out.put_u32(prev.0);
+            out.put_u64(*round);
+            out.put_u32(*counter);
+            out.put_u64(*epoch);
+            put_opt_node(&mut out, *monitor);
+        }
+        ArbiterMsg::MonitorSubmit {
+            requester,
+            seq,
+            priority,
+        } => {
+            out.put_u8(3);
+            out.put_u32(requester.0);
+            out.put_u64(seq.0);
+            out.put_u32(priority.0);
+        }
+        ArbiterMsg::Warning { round } => {
+            out.put_u8(4);
+            out.put_u64(*round);
+        }
+        ArbiterMsg::Enquiry { epoch } => {
+            out.put_u8(5);
+            out.put_u64(*epoch);
+        }
+        ArbiterMsg::EnquiryReply { status } => {
+            out.put_u8(6);
+            out.put_u8(match status {
+                TokenStatus::HadToken => 0,
+                TokenStatus::HaveToken => 1,
+                TokenStatus::Waiting => 2,
+                TokenStatus::Idle => 3,
+            });
+        }
+        ArbiterMsg::Resume => out.put_u8(7),
+        ArbiterMsg::Invalidate { epoch } => {
+            out.put_u8(8);
+            out.put_u64(*epoch);
+        }
+        ArbiterMsg::Probe => out.put_u8(9),
+        ArbiterMsg::ProbeAck { arbiter } => {
+            out.put_u8(10);
+            out.put_u8(u8::from(*arbiter));
+        }
+    }
+    out.freeze()
+}
+
+/// Decodes a frame produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncation, version mismatch, unknown tags,
+/// or trailing garbage.
+pub fn decode(frame: &[u8]) -> Result<ArbiterMsg, WireError> {
+    let mut buf = Bytes::copy_from_slice(frame);
+    need(&buf, 2)?;
+    let version = buf.get_u8();
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let tag = buf.get_u8();
+    let msg = match tag {
+        0 => {
+            need(&buf, 20)?;
+            ArbiterMsg::Request {
+                requester: NodeId(buf.get_u32()),
+                seq: SeqNum(buf.get_u64()),
+                priority: Priority(buf.get_u32()),
+                hops: buf.get_u32(),
+            }
+        }
+        1 => ArbiterMsg::Privilege(get_token(&mut buf)?),
+        2 => {
+            need(&buf, 4)?;
+            let arbiter = NodeId(buf.get_u32());
+            let q = get_qlist(&mut buf)?;
+            need(&buf, 24)?;
+            let prev = NodeId(buf.get_u32());
+            let round = buf.get_u64();
+            let counter = buf.get_u32();
+            let epoch = buf.get_u64();
+            let monitor = get_opt_node(&mut buf)?;
+            ArbiterMsg::NewArbiter {
+                arbiter,
+                q,
+                prev,
+                round,
+                counter,
+                epoch,
+                monitor,
+            }
+        }
+        3 => {
+            need(&buf, 16)?;
+            ArbiterMsg::MonitorSubmit {
+                requester: NodeId(buf.get_u32()),
+                seq: SeqNum(buf.get_u64()),
+                priority: Priority(buf.get_u32()),
+            }
+        }
+        4 => {
+            need(&buf, 8)?;
+            ArbiterMsg::Warning {
+                round: buf.get_u64(),
+            }
+        }
+        5 => {
+            need(&buf, 8)?;
+            ArbiterMsg::Enquiry {
+                epoch: buf.get_u64(),
+            }
+        }
+        6 => {
+            need(&buf, 1)?;
+            let status = match buf.get_u8() {
+                0 => TokenStatus::HadToken,
+                1 => TokenStatus::HaveToken,
+                2 => TokenStatus::Waiting,
+                3 => TokenStatus::Idle,
+                t => return Err(WireError::BadTag(t)),
+            };
+            ArbiterMsg::EnquiryReply { status }
+        }
+        7 => ArbiterMsg::Resume,
+        8 => {
+            need(&buf, 8)?;
+            ArbiterMsg::Invalidate {
+                epoch: buf.get_u64(),
+            }
+        }
+        9 => ArbiterMsg::Probe,
+        10 => {
+            need(&buf, 1)?;
+            ArbiterMsg::ProbeAck {
+                arbiter: buf.get_u8() != 0,
+            }
+        }
+        t => return Err(WireError::BadTag(t)),
+    };
+    if buf.has_remaining() {
+        return Err(WireError::TrailingBytes(buf.remaining()));
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: ArbiterMsg) {
+        let frame = encode(&msg);
+        let back = decode(&frame).expect("decode");
+        assert_eq!(back, msg);
+    }
+
+    fn sample_token() -> Token {
+        let mut t = Token::initial(4);
+        t.q.push_back(Entry::with_priority(NodeId(2), SeqNum(7), Priority(3)));
+        t.q.push_back(Entry::new(NodeId(0), SeqNum(1)));
+        t.last_granted = vec![SeqNum(1), SeqNum(0), SeqNum(6), SeqNum(2)];
+        t.round = 42;
+        t.epoch = 3;
+        t.via_monitor = true;
+        t
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        roundtrip(ArbiterMsg::Request {
+            requester: NodeId(9),
+            seq: SeqNum(u64::MAX),
+            priority: Priority(5),
+            hops: 2,
+        });
+        roundtrip(ArbiterMsg::Privilege(sample_token()));
+        roundtrip(ArbiterMsg::NewArbiter {
+            arbiter: NodeId(1),
+            q: sample_token().q,
+            prev: NodeId(0),
+            round: 100,
+            counter: 7,
+            epoch: 2,
+            monitor: Some(NodeId(3)),
+        });
+        roundtrip(ArbiterMsg::NewArbiter {
+            arbiter: NodeId(1),
+            q: QList::new(),
+            prev: NodeId(0),
+            round: 0,
+            counter: 0,
+            epoch: 0,
+            monitor: None,
+        });
+        roundtrip(ArbiterMsg::MonitorSubmit {
+            requester: NodeId(2),
+            seq: SeqNum(5),
+            priority: Priority(0),
+        });
+        roundtrip(ArbiterMsg::Warning { round: 77 });
+        roundtrip(ArbiterMsg::Enquiry { epoch: 11 });
+        for status in [
+            TokenStatus::HadToken,
+            TokenStatus::HaveToken,
+            TokenStatus::Waiting,
+            TokenStatus::Idle,
+        ] {
+            roundtrip(ArbiterMsg::EnquiryReply { status });
+        }
+        roundtrip(ArbiterMsg::Resume);
+        roundtrip(ArbiterMsg::Invalidate { epoch: 9 });
+        roundtrip(ArbiterMsg::Probe);
+        roundtrip(ArbiterMsg::ProbeAck { arbiter: true });
+        roundtrip(ArbiterMsg::ProbeAck { arbiter: false });
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut frame = encode(&ArbiterMsg::Warning { round: 1 }).to_vec();
+        frame[0] = 99;
+        assert_eq!(decode(&frame), Err(WireError::BadVersion(99)));
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let frame = vec![WIRE_VERSION, 200];
+        assert_eq!(decode(&frame), Err(WireError::BadTag(200)));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let frame = encode(&ArbiterMsg::Privilege(sample_token()));
+        for cut in 0..frame.len() {
+            let r = decode(&frame[..cut]);
+            assert!(r.is_err(), "decode of {cut}-byte prefix must fail");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut frame = encode(&ArbiterMsg::Probe).to_vec();
+        frame.push(0);
+        assert_eq!(decode(&frame), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(WireError::Truncated.to_string().contains("truncated"));
+        assert!(WireError::BadVersion(9).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,158 @@
+//! The [`Protocol`] trait: the contract between a mutual exclusion state
+//! machine and whatever drives it (the simulator or the threaded runtime).
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::event::{Action, Input};
+use crate::types::NodeId;
+
+/// A protocol message. Drivers only need to clone, debug-print, and
+/// classify messages for per-kind counters.
+pub trait ProtocolMessage: Clone + Debug + Send + 'static {
+    /// A stable, human-readable message-kind label (e.g. `"REQUEST"`,
+    /// `"PRIVILEGE"`, `"NEW-ARBITER"`) used for the per-kind message
+    /// counters that back Figures 3–6.
+    fn kind(&self) -> &'static str;
+}
+
+/// A protocol timer identity. `SetTimer` with an equal timer value replaces
+/// the pending instance, so protocols can re-arm without cancelling.
+pub trait ProtocolTimer: Copy + Clone + Debug + Eq + Hash + Send + 'static {}
+
+impl<T: Copy + Clone + Debug + Eq + Hash + Send + 'static> ProtocolTimer for T {}
+
+/// Timer alphabet for protocols that never set timers (the permission- and
+/// broadcast-based baselines). Uninhabited, so a `Timer` input can never be
+/// constructed for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NoTimer {}
+
+/// A sans-io distributed mutual exclusion state machine.
+///
+/// Drivers must uphold:
+///
+/// * [`Input::Start`] is the first input;
+/// * at most one application request is outstanding: after
+///   [`Input::RequestCs`], no further `RequestCs` until the protocol has
+///   emitted [`Action::EnterCs`] and consumed the matching
+///   [`Input::CsDone`];
+/// * every emitted action is executed (messages may be *lost in transit*
+///   by a lossy network, but the driver must at least attempt them).
+///
+/// Protocols must uphold:
+///
+/// * safety — across all nodes, at most one un-`CsDone`d `EnterCs` exists
+///   at any time, provided the network delivers at most one copy of each
+///   token message (token-based protocols) or delivers reliably
+///   (permission-based protocols);
+/// * liveness — under a reliable network, every `RequestCs` is eventually
+///   answered with `EnterCs`.
+pub trait Protocol: Send {
+    /// The protocol's message alphabet.
+    type Msg: ProtocolMessage;
+    /// The protocol's timer alphabet.
+    type Timer: ProtocolTimer;
+
+    /// This node's identity.
+    fn id(&self) -> NodeId;
+
+    /// Total number of nodes in the system.
+    fn num_nodes(&self) -> usize;
+
+    /// Feeds one input; returns the actions to execute, in order.
+    fn step(&mut self, input: Input<Self::Msg, Self::Timer>) -> Vec<Action<Self::Msg, Self::Timer>>;
+
+    /// True if this node currently believes it holds the token (or, for
+    /// permission-based protocols, is executing its critical section).
+    /// Drivers use this only for diagnostics and traces.
+    fn holds_token(&self) -> bool;
+
+    /// Short algorithm name for reports (e.g. `"arbiter"`,
+    /// `"ricart-agrawala"`).
+    fn algorithm(&self) -> &'static str;
+}
+
+/// Constructs the `n` protocol instances of a homogeneous system.
+///
+/// Implemented by per-algorithm config types so simulators and runtimes can
+/// be generic over "an algorithm" rather than a concrete node type.
+pub trait ProtocolFactory {
+    /// The node state machine this factory builds.
+    type Node: Protocol;
+
+    /// Builds the instance for node `id` of `n`.
+    fn build(&self, id: NodeId, n: usize) -> Self::Node;
+
+    /// Builds all `n` instances.
+    fn build_all(&self, n: usize) -> Vec<Self::Node> {
+        (0..n).map(|i| self.build(NodeId::from_index(i), n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Action, Input};
+
+    #[derive(Clone, Debug)]
+    struct NullMsg;
+    impl ProtocolMessage for NullMsg {
+        fn kind(&self) -> &'static str {
+            "NULL"
+        }
+    }
+
+    struct Null {
+        id: NodeId,
+        n: usize,
+    }
+
+    impl Protocol for Null {
+        type Msg = NullMsg;
+        type Timer = u8;
+        fn id(&self) -> NodeId {
+            self.id
+        }
+        fn num_nodes(&self) -> usize {
+            self.n
+        }
+        fn step(&mut self, input: Input<NullMsg, u8>) -> Vec<Action<NullMsg, u8>> {
+            match input {
+                Input::RequestCs => vec![Action::EnterCs],
+                _ => vec![],
+            }
+        }
+        fn holds_token(&self) -> bool {
+            true
+        }
+        fn algorithm(&self) -> &'static str {
+            "null"
+        }
+    }
+
+    struct NullFactory;
+    impl ProtocolFactory for NullFactory {
+        type Node = Null;
+        fn build(&self, id: NodeId, n: usize) -> Null {
+            Null { id, n }
+        }
+    }
+
+    #[test]
+    fn factory_builds_all_nodes() {
+        let nodes = NullFactory.build_all(4);
+        assert_eq!(nodes.len(), 4);
+        assert_eq!(nodes[2].id(), NodeId(2));
+        assert_eq!(nodes[3].num_nodes(), 4);
+    }
+
+    #[test]
+    fn null_protocol_grants_immediately() {
+        let mut node = NullFactory.build(NodeId(0), 1);
+        let acts = node.step(Input::RequestCs);
+        assert!(matches!(acts.as_slice(), [Action::EnterCs]));
+        assert_eq!(node.algorithm(), "null");
+        assert!(node.holds_token());
+    }
+}

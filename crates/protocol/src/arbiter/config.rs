@@ -1,0 +1,274 @@
+//! Configuration for the rotating-arbiter algorithm and its variants.
+
+use serde::{Deserialize, Serialize};
+
+use crate::api::ProtocolFactory;
+use crate::arbiter::ArbiterNode;
+use crate::types::{NodeId, Priority, TimeDelta};
+
+/// How an arbiter orders the requests it collected into the Q-list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Fairness {
+    /// First-come-first-served by arrival at the arbiter (paper §2.1: "the
+    /// requests are ordered according to their arrival times at the queue").
+    #[default]
+    Fcfs,
+    /// Within one batch, grant nodes with smaller request sequence numbers
+    /// first — the Suzuki–Kasami-style "least CS entries wins" refinement
+    /// sketched in paper §2.4/§5.1. Ties keep arrival order.
+    SeqNumFair,
+    /// Order by descending static node priority (paper §5.2). Starvation of
+    /// low-priority nodes is avoided structurally: they sink to the tail,
+    /// and the tail is the next arbiter.
+    Priority,
+}
+
+/// How often the token is routed through the monitor node
+/// (starvation-free variant, paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MonitorPeriod {
+    /// Adaptive period: route to the monitor when the NEW-ARBITER counter
+    /// reaches `ceil(average Q-list size)`, the average taken over a moving
+    /// window of the given size (paper §4.1's proposal).
+    Adaptive {
+        /// Number of recent Q-list lengths averaged.
+        window: usize,
+    },
+    /// Fixed period: route to the monitor every `every` NEW-ARBITER
+    /// broadcasts. Used by the ablation experiment.
+    Fixed {
+        /// NEW-ARBITER broadcasts between monitor visits.
+        every: u32,
+    },
+}
+
+impl Default for MonitorPeriod {
+    fn default() -> Self {
+        MonitorPeriod::Adaptive { window: 16 }
+    }
+}
+
+/// Configuration of the starvation-free variant (paper §4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// The initial monitor node.
+    pub monitor: NodeId,
+    /// Forwarding threshold τ: requests forwarded more than `tau` times are
+    /// dropped by arbiters, and a requester escalates to the monitor after
+    /// `tau` consecutive NEW-ARBITER broadcasts that fail to schedule it.
+    pub tau: u32,
+    /// Token-to-monitor period policy.
+    pub period: MonitorPeriod,
+    /// Rotate the monitor role round-robin on every monitor visit
+    /// (paper §5.1's load-balancing refinement).
+    pub rotate: bool,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            monitor: NodeId(0),
+            tau: 3,
+            period: MonitorPeriod::default(),
+            rotate: false,
+        }
+    }
+}
+
+/// Configuration of failure recovery (paper §6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Base timeout a scheduled node waits for the token before sending a
+    /// WARNING to the arbiter.
+    pub token_wait_base: TimeDelta,
+    /// Additional wait per position in the Q-list (a node scheduled deeper
+    /// in the list expects the token later).
+    pub token_wait_per_position: TimeDelta,
+    /// How long the arbiter waits for ENQUIRY replies before declaring the
+    /// token lost (phase 2 of the invalidation protocol).
+    pub enquiry_timeout: TimeDelta,
+    /// How long a previous arbiter waits to observe the next NEW-ARBITER
+    /// broadcast before probing the current arbiter.
+    pub handover_watch: TimeDelta,
+    /// How long a probing previous arbiter waits for a PROBE-ACK before
+    /// proclaiming itself the arbiter again.
+    pub probe_timeout: TimeDelta,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            token_wait_base: TimeDelta::from_millis(1_000),
+            token_wait_per_position: TimeDelta::from_millis(300),
+            enquiry_timeout: TimeDelta::from_millis(500),
+            handover_watch: TimeDelta::from_millis(2_000),
+            probe_timeout: TimeDelta::from_millis(500),
+        }
+    }
+}
+
+/// Full configuration of the Banerjee–Chrysanthis arbiter algorithm.
+///
+/// The default configuration is the paper's *basic* algorithm (§2) with the
+/// simulation parameters of §3.3 (`T_req = T_fwd = 0.1 s`). Enable
+/// [`ArbiterConfig::monitor`] for the starvation-free variant (§4.1) and
+/// [`ArbiterConfig::recovery`] for failure recovery (§6).
+///
+/// `ArbiterConfig` implements [`ProtocolFactory`], so it can be handed
+/// directly to the simulator or the runtime:
+///
+/// ```
+/// use tokq_protocol::api::ProtocolFactory;
+/// use tokq_protocol::arbiter::ArbiterConfig;
+///
+/// let nodes = ArbiterConfig::default().build_all(5);
+/// assert_eq!(nodes.len(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArbiterConfig {
+    /// The node initially designated as arbiter (and initial token holder).
+    pub initial_arbiter: NodeId,
+    /// Request collection phase duration `T_req` (paper §2.1, tuned in §3.3).
+    pub t_collect: TimeDelta,
+    /// Request forwarding phase duration `T_fwd`.
+    pub t_forward: TimeDelta,
+    /// Q-list ordering policy.
+    pub fairness: Fairness,
+    /// Retransmit a request to the new arbiter when a NEW-ARBITER broadcast
+    /// arrives without it (paper §6, "Lost Request": the NEW-ARBITER acts as
+    /// an implicit acknowledgment). Required for liveness of the basic
+    /// algorithm when requests are dropped after the forwarding phase.
+    pub retransmit_on_miss: bool,
+    /// Consecutive unscheduled NEW-ARBITER broadcasts tolerated before the
+    /// miss retransmission fires. A request that arrives just after a seal
+    /// is in the *next* batch, not dropped; one broadcast of grace avoids
+    /// retransmitting those (they would be duplicate-suppressed anyway, but
+    /// each costs a message).
+    pub miss_grace: u32,
+    /// Static per-node priorities (indexed by node id); empty means all
+    /// default. Only consulted when `fairness` is [`Fairness::Priority`].
+    pub priorities: Vec<Priority>,
+    /// Retransmission timeout for a request that was never scheduled and
+    /// never contradicted by a NEW-ARBITER broadcast (paper §6:
+    /// "appropriate timeouts may also be used to retransmit a request").
+    /// `None` disables the timeout.
+    pub request_retry: Option<TimeDelta>,
+    /// Starvation-free variant (paper §4.1); `None` = basic algorithm.
+    pub monitor: Option<MonitorConfig>,
+    /// Failure recovery (paper §6); `None` = fault-free deployment.
+    pub recovery: Option<RecoveryConfig>,
+}
+
+impl Default for ArbiterConfig {
+    fn default() -> Self {
+        ArbiterConfig {
+            initial_arbiter: NodeId(0),
+            t_collect: TimeDelta::from_millis(100),
+            t_forward: TimeDelta::from_millis(100),
+            fairness: Fairness::default(),
+            retransmit_on_miss: true,
+            miss_grace: 2,
+            priorities: Vec::new(),
+            request_retry: Some(TimeDelta::from_secs(2)),
+            monitor: None,
+            recovery: None,
+        }
+    }
+}
+
+impl ArbiterConfig {
+    /// The basic algorithm of paper §2 with the §3.3 parameters.
+    pub fn basic() -> Self {
+        Self::default()
+    }
+
+    /// The starvation-free variant of paper §4.1 with default monitor
+    /// settings.
+    pub fn starvation_free() -> Self {
+        ArbiterConfig {
+            monitor: Some(MonitorConfig::default()),
+            ..Self::default()
+        }
+    }
+
+    /// The full fault-tolerant configuration (§4.1 + §6).
+    pub fn fault_tolerant() -> Self {
+        ArbiterConfig {
+            monitor: Some(MonitorConfig::default()),
+            recovery: Some(RecoveryConfig::default()),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the collection phase duration, returning `self` for chaining.
+    #[must_use]
+    pub fn with_t_collect(mut self, t: TimeDelta) -> Self {
+        self.t_collect = t;
+        self
+    }
+
+    /// Sets the forwarding phase duration, returning `self` for chaining.
+    #[must_use]
+    pub fn with_t_forward(mut self, t: TimeDelta) -> Self {
+        self.t_forward = t;
+        self
+    }
+
+    /// The priority of `node` under this configuration.
+    pub fn priority_of(&self, node: NodeId) -> Priority {
+        self.priorities
+            .get(node.index())
+            .copied()
+            .unwrap_or_default()
+    }
+}
+
+impl ProtocolFactory for ArbiterConfig {
+    type Node = ArbiterNode;
+
+    fn build(&self, id: NodeId, n: usize) -> ArbiterNode {
+        ArbiterNode::new(id, n, self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_simulation_parameters() {
+        let c = ArbiterConfig::default();
+        assert_eq!(c.t_collect, TimeDelta::from_secs_f64(0.1));
+        assert_eq!(c.t_forward, TimeDelta::from_secs_f64(0.1));
+        assert_eq!(c.initial_arbiter, NodeId(0));
+        assert_eq!(c.fairness, Fairness::Fcfs);
+        assert!(c.monitor.is_none());
+        assert!(c.recovery.is_none());
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = ArbiterConfig::basic()
+            .with_t_collect(TimeDelta::from_millis(200))
+            .with_t_forward(TimeDelta::from_millis(50));
+        assert_eq!(c.t_collect, TimeDelta::from_millis(200));
+        assert_eq!(c.t_forward, TimeDelta::from_millis(50));
+    }
+
+    #[test]
+    fn variant_constructors() {
+        assert!(ArbiterConfig::starvation_free().monitor.is_some());
+        let ft = ArbiterConfig::fault_tolerant();
+        assert!(ft.monitor.is_some());
+        assert!(ft.recovery.is_some());
+    }
+
+    #[test]
+    fn priority_lookup_defaults() {
+        let mut c = ArbiterConfig::default();
+        assert_eq!(c.priority_of(NodeId(3)), Priority(0));
+        c.priorities = vec![Priority(1), Priority(9)];
+        assert_eq!(c.priority_of(NodeId(1)), Priority(9));
+        assert_eq!(c.priority_of(NodeId(7)), Priority(0));
+    }
+}

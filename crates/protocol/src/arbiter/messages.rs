@@ -1,0 +1,242 @@
+//! Message and token types of the arbiter algorithm.
+
+use serde::{Deserialize, Serialize};
+
+use crate::api::ProtocolMessage;
+use crate::qlist::QList;
+use crate::types::{NodeId, Priority, SeqNum};
+
+/// The PRIVILEGE token (paper §2.1): at most one exists per epoch.
+///
+/// Beyond the paper's `PRIVILEGE(Q, L)` form (§2.4) the token carries a
+/// `round` (monotone seal counter used to order NEW-ARBITER broadcasts) and
+/// an `epoch` (bumped by token regeneration, paper §6, so that a slow old
+/// token resurfacing after regeneration can be recognized and discarded).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// The ordered list of scheduled requesters; head executes next, tail is
+    /// the next arbiter.
+    pub q: QList,
+    /// `L` array: per node, the sequence number of the last granted request
+    /// (paper §2.4). Lets arbiters discard stale retransmitted requests.
+    pub last_granted: Vec<SeqNum>,
+    /// Monotone seal counter; incremented every time an arbiter seals a
+    /// Q-list into the token.
+    pub round: u64,
+    /// Regeneration epoch; incremented when an arbiter declares the token
+    /// lost and mints a replacement.
+    pub epoch: u64,
+    /// Set when the sealing arbiter routed the token through the monitor
+    /// node (starvation-free variant, paper §4.1); cleared by the monitor.
+    pub via_monitor: bool,
+}
+
+impl Token {
+    /// The initial token held by the initial arbiter of an `n`-node system.
+    pub fn initial(n: usize) -> Self {
+        Token {
+            q: QList::new(),
+            last_granted: vec![SeqNum::ZERO; n],
+            round: 0,
+            epoch: 0,
+            via_monitor: false,
+        }
+    }
+
+    /// The last granted sequence number for `node`.
+    pub fn last_granted_for(&self, node: NodeId) -> SeqNum {
+        self.last_granted
+            .get(node.index())
+            .copied()
+            .unwrap_or(SeqNum::ZERO)
+    }
+
+    /// Records that `node`'s request `seq` has been granted.
+    pub fn record_grant(&mut self, node: NodeId, seq: SeqNum) {
+        if let Some(slot) = self.last_granted.get_mut(node.index()) {
+            if seq > *slot {
+                *slot = seq;
+            }
+        }
+    }
+}
+
+/// Reply statuses of the two-phase token invalidation protocol (paper §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TokenStatus {
+    /// "I had the token, and have executed my CS."
+    HadToken,
+    /// "I have the token." (The replier suspends until RESUME.)
+    HaveToken,
+    /// "I am waiting for the token."
+    Waiting,
+    /// The replier is not involved (engineering addition for robustness when
+    /// the enquiry set over-approximates).
+    Idle,
+}
+
+/// The arbiter algorithm's message alphabet.
+///
+/// The three basic messages are exactly the paper's (§2.1); the remainder
+/// implement the starvation-free variant (§4.1) and recovery (§6).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArbiterMsg {
+    /// `REQUEST(j, n)`: node `requester` wants its `seq`-th critical
+    /// section. `hops` counts forwarding steps (0 = sent directly).
+    Request {
+        /// The requesting node.
+        requester: NodeId,
+        /// The request's sequence number.
+        seq: SeqNum,
+        /// Requester's static priority (paper §5.2).
+        priority: Priority,
+        /// Times this request has been forwarded arbiter-to-arbiter.
+        hops: u32,
+    },
+    /// `PRIVILEGE(Q, L)`: the token.
+    Privilege(Token),
+    /// `NEW-ARBITER(j)`: broadcast declaring `arbiter` the new arbiter,
+    /// carrying the sealed Q-list (which doubles as the implicit
+    /// acknowledgment of scheduling, paper §6) and bookkeeping fields.
+    NewArbiter {
+        /// The newly elected arbiter (tail of `q`).
+        arbiter: NodeId,
+        /// The Q-list just sealed into the token.
+        q: QList,
+        /// The node that sealed this list (the previous arbiter); recovery
+        /// includes it in the ENQUIRY set.
+        prev: NodeId,
+        /// Token seal round; receivers ignore broadcasts out of order.
+        round: u64,
+        /// Monitor-period counter (paper §4.1); reset to zero by the
+        /// monitor.
+        counter: u32,
+        /// Token regeneration epoch.
+        epoch: u64,
+        /// Current monitor node, when the monitor role rotates (paper §5.1).
+        monitor: Option<NodeId>,
+    },
+    /// Resubmission of a starving request directly to the monitor node
+    /// (paper §4.1).
+    MonitorSubmit {
+        /// The requesting node.
+        requester: NodeId,
+        /// The request's sequence number.
+        seq: SeqNum,
+        /// Requester's static priority.
+        priority: Priority,
+    },
+    /// A scheduled node timed out waiting for the token (paper §6).
+    Warning {
+        /// The NEW-ARBITER round the warner believes current; lets a node
+        /// that missed its own election recognize the warner knows more.
+        round: u64,
+    },
+    /// Phase 1 of token invalidation: "do you hold the token?"
+    Enquiry {
+        /// The epoch the enquiring arbiter believes current.
+        epoch: u64,
+    },
+    /// Reply to an ENQUIRY.
+    EnquiryReply {
+        /// The replier's token status.
+        status: TokenStatus,
+    },
+    /// The token was found alive; the suspended holder may resume.
+    Resume,
+    /// The token was declared lost; discard any token with an older epoch
+    /// and keep waiting — the regenerated token will honor the Q-list.
+    Invalidate {
+        /// The new epoch minted by the regenerating arbiter.
+        epoch: u64,
+    },
+    /// A previous arbiter probing a silent current arbiter (paper §6).
+    Probe,
+    /// Liveness acknowledgment of a PROBE.
+    ProbeAck {
+        /// Whether the probed node currently considers itself the arbiter;
+        /// `false` tells the watcher its handover announcement was lost.
+        arbiter: bool,
+    },
+}
+
+impl ProtocolMessage for ArbiterMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            ArbiterMsg::Request { .. } => "REQUEST",
+            ArbiterMsg::Privilege(_) => "PRIVILEGE",
+            ArbiterMsg::NewArbiter { .. } => "NEW-ARBITER",
+            ArbiterMsg::MonitorSubmit { .. } => "MONITOR-SUBMIT",
+            ArbiterMsg::Warning { .. } => "WARNING",
+            ArbiterMsg::Enquiry { .. } => "ENQUIRY",
+            ArbiterMsg::EnquiryReply { .. } => "ENQUIRY-REPLY",
+            ArbiterMsg::Resume => "RESUME",
+            ArbiterMsg::Invalidate { .. } => "INVALIDATE",
+            ArbiterMsg::Probe => "PROBE",
+            ArbiterMsg::ProbeAck { .. } => "PROBE-ACK",
+        }
+    }
+}
+
+/// Timers used by the arbiter algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArbiterTimer {
+    /// End of the current request collection window (`T_req`).
+    CollectionEnd,
+    /// End of the request forwarding phase (`T_fwd`).
+    ForwardEnd,
+    /// A scheduled requester's token-wait timeout (recovery).
+    TokenWait,
+    /// The arbiter's own token-wait timeout (recovery).
+    ArbiterWait,
+    /// Phase-1 reply collection timeout of token invalidation (recovery).
+    EnquiryTimeout,
+    /// Previous arbiter watching for the successor's first NEW-ARBITER
+    /// broadcast (recovery).
+    HandoverWatch,
+    /// Waiting for a PROBE-ACK from a probed arbiter (recovery).
+    ProbeTimeout,
+    /// Retransmission timeout for an unscheduled request (paper §6).
+    RequestRetry,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_initial_state() {
+        let t = Token::initial(4);
+        assert!(t.q.is_empty());
+        assert_eq!(t.last_granted.len(), 4);
+        assert_eq!(t.round, 0);
+        assert_eq!(t.epoch, 0);
+        assert!(!t.via_monitor);
+    }
+
+    #[test]
+    fn grant_recording_is_monotone() {
+        let mut t = Token::initial(2);
+        t.record_grant(NodeId(1), SeqNum(5));
+        assert_eq!(t.last_granted_for(NodeId(1)), SeqNum(5));
+        t.record_grant(NodeId(1), SeqNum(3));
+        assert_eq!(t.last_granted_for(NodeId(1)), SeqNum(5));
+        // Out-of-range ids are tolerated (defensive).
+        t.record_grant(NodeId(9), SeqNum(1));
+        assert_eq!(t.last_granted_for(NodeId(9)), SeqNum::ZERO);
+    }
+
+    #[test]
+    fn message_kinds_cover_paper_vocabulary() {
+        let req = ArbiterMsg::Request {
+            requester: NodeId(2),
+            seq: SeqNum(1),
+            priority: Priority(0),
+            hops: 0,
+        };
+        assert_eq!(req.kind(), "REQUEST");
+        assert_eq!(ArbiterMsg::Privilege(Token::initial(1)).kind(), "PRIVILEGE");
+        assert_eq!(ArbiterMsg::Warning { round: 1 }.kind(), "WARNING");
+        assert_eq!(ArbiterMsg::Probe.kind(), "PROBE");
+    }
+}

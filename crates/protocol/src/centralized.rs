@@ -1,0 +1,314 @@
+//! Central-coordinator baseline: the simplest mutual exclusion protocol.
+//!
+//! One fixed coordinator grants access FIFO. Every remote critical section
+//! costs exactly 3 messages (REQUEST, GRANT, RELEASE); the coordinator's
+//! own sections are free. Used to calibrate the experiment harness — its
+//! message count is known in closed form.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::api::{NoTimer, Protocol, ProtocolFactory, ProtocolMessage};
+use crate::event::{Action, Input};
+use crate::types::NodeId;
+
+/// Messages of the centralized protocol.
+///
+/// Grants carry a generation number echoed by the release, so duplicated
+/// messages (a re-delivered RELEASE racing a re-grant to the same node)
+/// cannot double-free the coordinator's grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CentralMsg {
+    /// A node asks the coordinator for the critical section.
+    Request,
+    /// The coordinator grants the critical section.
+    Grant {
+        /// Generation of this grant.
+        gen: u64,
+    },
+    /// The holder tells the coordinator it has finished with grant `gen`.
+    Release {
+        /// Generation being released.
+        gen: u64,
+    },
+}
+
+impl ProtocolMessage for CentralMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            CentralMsg::Request => "REQUEST",
+            CentralMsg::Grant { .. } => "GRANT",
+            CentralMsg::Release { .. } => "RELEASE",
+        }
+    }
+}
+
+/// Configuration (and [`ProtocolFactory`]) for the centralized protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CentralConfig {
+    /// The coordinator node.
+    pub coordinator: NodeId,
+}
+
+impl Default for CentralConfig {
+    fn default() -> Self {
+        CentralConfig {
+            coordinator: NodeId(0),
+        }
+    }
+}
+
+impl ProtocolFactory for CentralConfig {
+    type Node = CentralNode;
+    fn build(&self, id: NodeId, n: usize) -> CentralNode {
+        assert!(self.coordinator.index() < n, "coordinator out of range");
+        CentralNode {
+            id,
+            n,
+            coordinator: self.coordinator,
+            queue: VecDeque::new(),
+            holder: None,
+            grant_gen: 0,
+            my_gen: 0,
+            requesting: false,
+            in_cs: false,
+        }
+    }
+}
+
+/// A node of the centralized protocol.
+#[derive(Debug, Clone)]
+pub struct CentralNode {
+    id: NodeId,
+    n: usize,
+    coordinator: NodeId,
+    /// Coordinator state: pending grants, FIFO (one entry per node —
+    /// duplicated REQUESTs are coalesced).
+    queue: VecDeque<NodeId>,
+    /// Coordinator state: who currently holds the grant, and its
+    /// generation.
+    holder: Option<(NodeId, u64)>,
+    /// Coordinator state: generation counter.
+    grant_gen: u64,
+    /// Requester state: generation of the grant we hold.
+    my_gen: u64,
+    /// Requester state: an unanswered request is outstanding.
+    requesting: bool,
+    in_cs: bool,
+}
+
+impl CentralNode {
+    fn coordinator_enqueue(&mut self, node: NodeId, out: &mut Vec<Action<CentralMsg, NoTimer>>) {
+        if self.holder.map(|(h, _)| h) == Some(node) || self.queue.contains(&node) {
+            return; // duplicated request
+        }
+        self.queue.push_back(node);
+        self.coordinator_grant(out);
+    }
+
+    fn coordinator_grant(&mut self, out: &mut Vec<Action<CentralMsg, NoTimer>>) {
+        if self.holder.is_some() {
+            return;
+        }
+        if let Some(next) = self.queue.pop_front() {
+            self.grant_gen += 1;
+            self.holder = Some((next, self.grant_gen));
+            if next == self.id {
+                self.my_gen = self.grant_gen;
+                self.in_cs = true;
+                out.push(Action::EnterCs);
+            } else {
+                out.push(Action::Send {
+                    to: next,
+                    msg: CentralMsg::Grant {
+                        gen: self.grant_gen,
+                    },
+                });
+            }
+        }
+    }
+}
+
+impl Protocol for CentralNode {
+    type Msg = CentralMsg;
+    type Timer = NoTimer;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn step(&mut self, input: Input<CentralMsg, NoTimer>) -> Vec<Action<CentralMsg, NoTimer>> {
+        let mut out = Vec::new();
+        match input {
+            Input::Start | Input::Crash | Input::Recover => {}
+            Input::RequestCs => {
+                self.requesting = true;
+                if self.id == self.coordinator {
+                    self.coordinator_enqueue(self.id, &mut out);
+                } else {
+                    out.push(Action::Send {
+                        to: self.coordinator,
+                        msg: CentralMsg::Request,
+                    });
+                }
+            }
+            Input::CsDone => {
+                self.in_cs = false;
+                self.requesting = false;
+                if self.id == self.coordinator {
+                    self.holder = None;
+                    self.coordinator_grant(&mut out);
+                } else {
+                    out.push(Action::Send {
+                        to: self.coordinator,
+                        msg: CentralMsg::Release { gen: self.my_gen },
+                    });
+                }
+            }
+            Input::Timer(t) => match t {},
+            Input::Deliver { from, msg } => match msg {
+                CentralMsg::Request => {
+                    debug_assert_eq!(self.id, self.coordinator);
+                    self.coordinator_enqueue(from, &mut out);
+                }
+                CentralMsg::Grant { gen } => {
+                    if self.requesting && !self.in_cs {
+                        self.my_gen = gen;
+                        self.in_cs = true;
+                        out.push(Action::EnterCs);
+                    } else {
+                        // Spurious or duplicated grant: hand it back.
+                        out.push(Action::Send {
+                            to: self.coordinator,
+                            msg: CentralMsg::Release { gen },
+                        });
+                    }
+                }
+                CentralMsg::Release { gen } => {
+                    debug_assert_eq!(self.id, self.coordinator);
+                    // Only the exact outstanding grant can be released —
+                    // a duplicated or stale RELEASE must not double-free.
+                    if self.holder == Some((from, gen)) {
+                        self.holder = None;
+                        self.coordinator_grant(&mut out);
+                    }
+                }
+            },
+        }
+        out
+    }
+
+    fn holds_token(&self) -> bool {
+        self.in_cs
+    }
+
+    fn algorithm(&self) -> &'static str {
+        "centralized"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ProtocolFactory;
+
+    fn deliver(
+        node: &mut CentralNode,
+        from: NodeId,
+        msg: CentralMsg,
+    ) -> Vec<Action<CentralMsg, NoTimer>> {
+        node.step(Input::Deliver { from, msg })
+    }
+
+    #[test]
+    fn remote_cs_costs_three_messages() {
+        let cfg = CentralConfig::default();
+        let mut coord = cfg.build(NodeId(0), 3);
+        let mut other = cfg.build(NodeId(1), 3);
+        coord.step(Input::Start);
+        other.step(Input::Start);
+
+        // REQUEST (1 message).
+        let acts = other.step(Input::RequestCs);
+        assert!(matches!(
+            acts.as_slice(),
+            [Action::Send {
+                to: NodeId(0),
+                msg: CentralMsg::Request
+            }]
+        ));
+        // GRANT (1 message).
+        let acts = deliver(&mut coord, NodeId(1), CentralMsg::Request);
+        assert!(matches!(
+            acts.as_slice(),
+            [Action::Send {
+                to: NodeId(1),
+                msg: CentralMsg::Grant { .. }
+            }]
+        ));
+        // Enter, then RELEASE (1 message).
+        let acts = deliver(&mut other, NodeId(0), CentralMsg::Grant { gen: 1 });
+        assert!(matches!(acts.as_slice(), [Action::EnterCs]));
+        let acts = other.step(Input::CsDone);
+        assert!(matches!(
+            acts.as_slice(),
+            [Action::Send {
+                to: NodeId(0),
+                msg: CentralMsg::Release { gen: 1 }
+            }]
+        ));
+    }
+
+    #[test]
+    fn coordinator_own_cs_is_free() {
+        let mut coord = CentralConfig::default().build(NodeId(0), 2);
+        coord.step(Input::Start);
+        let acts = coord.step(Input::RequestCs);
+        assert!(matches!(acts.as_slice(), [Action::EnterCs]));
+        let acts = coord.step(Input::CsDone);
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn grants_are_fifo() {
+        let mut coord = CentralConfig::default().build(NodeId(0), 4);
+        coord.step(Input::Start);
+        deliver(&mut coord, NodeId(2), CentralMsg::Request);
+        // Node 2 holds the grant; 1 and 3 queue behind it.
+        assert!(deliver(&mut coord, NodeId(1), CentralMsg::Request).is_empty());
+        assert!(deliver(&mut coord, NodeId(3), CentralMsg::Request).is_empty());
+        let acts = deliver(&mut coord, NodeId(2), CentralMsg::Release { gen: 1 });
+        assert!(matches!(
+            acts.as_slice(),
+            [Action::Send {
+                to: NodeId(1),
+                msg: CentralMsg::Grant { gen: 2 }
+            }]
+        ));
+        let acts = deliver(&mut coord, NodeId(1), CentralMsg::Release { gen: 2 });
+        assert!(matches!(
+            acts.as_slice(),
+            [Action::Send {
+                to: NodeId(3),
+                msg: CentralMsg::Grant { gen: 3 }
+            }]
+        ));
+    }
+
+    #[test]
+    fn mixed_local_and_remote_queueing() {
+        let mut coord = CentralConfig::default().build(NodeId(0), 2);
+        coord.step(Input::Start);
+        deliver(&mut coord, NodeId(1), CentralMsg::Request);
+        // Coordinator's own request queues behind the outstanding grant.
+        assert!(coord.step(Input::RequestCs).is_empty());
+        let acts = deliver(&mut coord, NodeId(1), CentralMsg::Release { gen: 1 });
+        assert!(matches!(acts.as_slice(), [Action::EnterCs]));
+        assert!(coord.holds_token());
+    }
+}

@@ -1,0 +1,564 @@
+//! Maekawa's √N quorum algorithm (TOCS 1985) — cited by the paper (§5.1,
+//! §7) as a comparator for load-balancing fairness.
+//!
+//! Every node has a *request set* (quorum) of size ≈ √N such that any two
+//! quorums intersect; a node enters its critical section after locking its
+//! entire quorum. The full algorithm needs FAILED / INQUIRE / YIELD
+//! messages to break the deadlocks that naive quorum locking allows:
+//! a locked arbiter that sees an older request INQUIREs its current
+//! grantee, which YIELDs if it has not yet assembled its own quorum.
+//!
+//! The quorums here are the classic grid construction: nodes are arranged
+//! in a `k × k` grid (padded); node `i`'s quorum is its row plus its
+//! column, giving `2k − 1 ≈ 2√N` members with pairwise intersection.
+
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::api::{NoTimer, Protocol, ProtocolFactory, ProtocolMessage};
+use crate::event::{Action, Input};
+use crate::types::NodeId;
+
+/// Messages of Maekawa's algorithm.
+///
+/// Every message carries the timestamp of the request it concerns: the
+/// published algorithm implicitly assumes FIFO channels, and the tags make
+/// it robust to arbitrary reordering (a stale LOCKED or RELEASE is
+/// recognizable and either ignored or answered with a reclamation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MaekawaMsg {
+    /// Ask a quorum member for its (single) vote.
+    Request {
+        /// Lamport timestamp of the request.
+        ts: u64,
+    },
+    /// The member's vote is granted to the request stamped `ts`.
+    Locked {
+        /// Timestamp of the granted request.
+        ts: u64,
+    },
+    /// The member is already locked by an older request.
+    Failed {
+        /// Timestamp of the failed request.
+        ts: u64,
+    },
+    /// The member asks its current grantee (request `ts`) to consider
+    /// yielding because an older request is blocked behind it.
+    Inquire {
+        /// Timestamp of the granted request being questioned.
+        ts: u64,
+    },
+    /// The grantee relinquishes the vote it received for request `ts`.
+    Yield {
+        /// Timestamp of the yielded request.
+        ts: u64,
+    },
+    /// The vote lent for request `ts` returns to the member.
+    Release {
+        /// Timestamp of the completed (or stale) request.
+        ts: u64,
+    },
+}
+
+impl ProtocolMessage for MaekawaMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            MaekawaMsg::Request { .. } => "REQUEST",
+            MaekawaMsg::Locked { .. } => "LOCKED",
+            MaekawaMsg::Failed { .. } => "FAILED",
+            MaekawaMsg::Inquire { .. } => "INQUIRE",
+            MaekawaMsg::Yield { .. } => "YIELD",
+            MaekawaMsg::Release { .. } => "RELEASE",
+        }
+    }
+}
+
+/// Configuration (and [`ProtocolFactory`]) for Maekawa's algorithm with
+/// grid quorums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MaekawaConfig;
+
+impl MaekawaConfig {
+    /// The grid quorum of `node` in an `n`-node system: its grid row and
+    /// column (including itself). Any two quorums intersect.
+    pub fn quorum(node: NodeId, n: usize) -> Vec<NodeId> {
+        let k = (n as f64).sqrt().ceil() as usize;
+        let row = node.index() / k;
+        let col = node.index() % k;
+        let mut q = BTreeSet::new();
+        q.insert(node);
+        for c in 0..k {
+            let idx = row * k + c;
+            if idx < n {
+                q.insert(NodeId::from_index(idx));
+            }
+        }
+        for r in 0..k.div_ceil(1) {
+            let idx = r * k + col;
+            if idx < n {
+                q.insert(NodeId::from_index(idx));
+            }
+        }
+        q.into_iter().collect()
+    }
+}
+
+impl ProtocolFactory for MaekawaConfig {
+    type Node = MaekawaNode;
+    fn build(&self, id: NodeId, n: usize) -> MaekawaNode {
+        MaekawaNode {
+            id,
+            n,
+            quorum: MaekawaConfig::quorum(id, n),
+            clock: 0,
+            requesting: false,
+            request_ts: 0,
+            votes: BTreeSet::new(),
+            pending_inquires: BTreeSet::new(),
+            failed_seen: false,
+            in_cs: false,
+            // Member (voter) state:
+            granted_to: None,
+            inquired: false,
+            wait_q: VecDeque::new(),
+        }
+    }
+}
+
+/// A node of Maekawa's algorithm. One struct plays both roles: requester
+/// (collecting its quorum's votes) and quorum member (casting one vote).
+#[derive(Debug, Clone)]
+pub struct MaekawaNode {
+    id: NodeId,
+    n: usize,
+    quorum: Vec<NodeId>,
+    clock: u64,
+    // Requester state.
+    requesting: bool,
+    request_ts: u64,
+    votes: BTreeSet<NodeId>,
+    /// Members that INQUIREd us before their LOCKED arrived (non-FIFO
+    /// reordering): the vote is yielded back the moment it lands, unless
+    /// it completes the quorum.
+    pending_inquires: BTreeSet<NodeId>,
+    failed_seen: bool,
+    in_cs: bool,
+    // Member state: whom our vote is lent to, and the waiting requests.
+    granted_to: Option<(u64, NodeId)>,
+    inquired: bool,
+    wait_q: VecDeque<(u64, NodeId)>,
+}
+
+impl MaekawaNode {
+    fn ord(ts: u64, node: NodeId) -> (u64, u32) {
+        (ts, node.0)
+    }
+
+    /// Member role: grant the vote to the next waiting request, if free.
+    fn grant_next(&mut self, out: &mut Vec<Action<MaekawaMsg, NoTimer>>) {
+        if self.granted_to.is_some() {
+            return;
+        }
+        // Grant the oldest waiting request.
+        let Some(best_idx) = (0..self.wait_q.len())
+            .min_by_key(|&i| Self::ord(self.wait_q[i].0, self.wait_q[i].1))
+        else {
+            return;
+        };
+        let (ts, node) = self.wait_q.remove(best_idx).expect("index valid");
+        self.granted_to = Some((ts, node));
+        self.inquired = false;
+        if node == self.id {
+            self.on_locked(self.id, ts, out);
+        } else {
+            out.push(Action::Send {
+                to: node,
+                msg: MaekawaMsg::Locked { ts },
+            });
+        }
+    }
+
+    /// Member role: a new request arrives.
+    fn member_request(&mut self, ts: u64, from: NodeId, out: &mut Vec<Action<MaekawaMsg, NoTimer>>) {
+        // A newer request from the same node supersedes any stale queued
+        // one (the old RELEASE may still be in flight).
+        self.wait_q.retain(|&(qts, qn)| !(qn == from && qts < ts));
+        if self.wait_q.iter().any(|&(qts, qn)| qn == from && qts >= ts) {
+            return; // duplicate or out-of-date copy
+        }
+        match self.granted_to {
+            None => {
+                self.wait_q.push_back((ts, from));
+                self.grant_next(out);
+            }
+            Some((gts, gnode)) => {
+                if gnode == from && gts >= ts {
+                    return; // stale duplicate of the very grant we hold
+                }
+                self.wait_q.push_back((ts, from));
+                if Self::ord(ts, from) < Self::ord(gts, gnode) {
+                    // An older request is blocked by our younger grant:
+                    // ask the grantee to yield (once).
+                    if !self.inquired {
+                        self.inquired = true;
+                        if gnode == self.id {
+                            self.on_inquire(self.id, gts, out);
+                        } else {
+                            out.push(Action::Send {
+                                to: gnode,
+                                msg: MaekawaMsg::Inquire { ts: gts },
+                            });
+                        }
+                    }
+                } else {
+                    // The newcomer loses; tell it so it can watch for
+                    // deadlock (classic Maekawa FAILED).
+                    if from == self.id {
+                        self.on_failed(self.id, ts, out);
+                    } else {
+                        out.push(Action::Send {
+                            to: from,
+                            msg: MaekawaMsg::Failed { ts },
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Requester role: got a member's vote for request `ts`.
+    fn on_locked(&mut self, from: NodeId, ts: u64, out: &mut Vec<Action<MaekawaMsg, NoTimer>>) {
+        if !self.requesting || ts != self.request_ts {
+            // A vote for a request we no longer hold: hand it straight
+            // back so it is not stranded at a grantee that will never
+            // release it.
+            if from == self.id {
+                self.member_release_for(ts, self.id, out);
+            } else {
+                out.push(Action::Send {
+                    to: from,
+                    msg: MaekawaMsg::Release { ts },
+                });
+            }
+            return;
+        }
+        if self.in_cs {
+            return;
+        }
+        self.votes.insert(from);
+        if self.votes.len() == self.quorum.len() {
+            self.pending_inquires.clear();
+            self.in_cs = true;
+            out.push(Action::EnterCs);
+            return;
+        }
+        // An INQUIRE raced ahead of this vote: honor it now that the vote
+        // is actually here (the quorum is still incomplete, so yielding is
+        // safe and unblocks the older request the member vouched for).
+        if self.pending_inquires.remove(&from) && self.votes.remove(&from) {
+            if from == self.id {
+                self.member_yield(ts, self.id, out);
+            } else {
+                out.push(Action::Send {
+                    to: from,
+                    msg: MaekawaMsg::Yield { ts },
+                });
+            }
+        }
+    }
+
+    /// Requester role: a member is held by an older request.
+    fn on_failed(&mut self, _from: NodeId, ts: u64, _out: &mut Vec<Action<MaekawaMsg, NoTimer>>) {
+        if self.requesting && ts == self.request_ts {
+            self.failed_seen = true;
+        }
+    }
+
+    /// Requester role: a member wants its vote (for request `ts`) back.
+    fn on_inquire(&mut self, from: NodeId, ts: u64, out: &mut Vec<Action<MaekawaMsg, NoTimer>>) {
+        if self.in_cs || !self.requesting || ts != self.request_ts {
+            return;
+        }
+        if self.votes.len() == self.quorum.len() {
+            return; // complete quorum: we are entering; ignore
+        }
+        if !self.votes.contains(&from) {
+            // The vote this INQUIRE refers to has not arrived yet
+            // (non-FIFO channel): honor the inquiry when it does.
+            self.pending_inquires.insert(from);
+            return;
+        }
+        if self.votes.remove(&from) {
+            if from == self.id {
+                self.member_yield(ts, self.id, out);
+            } else {
+                out.push(Action::Send {
+                    to: from,
+                    msg: MaekawaMsg::Yield { ts },
+                });
+            }
+        }
+    }
+
+    /// Member role: the grantee yields our vote; re-grant to the oldest
+    /// waiter and requeue the yielder.
+    fn member_yield(&mut self, ts: u64, from: NodeId, out: &mut Vec<Action<MaekawaMsg, NoTimer>>) {
+        if self.granted_to != Some((ts, from)) {
+            return; // stale yield for a grant we no longer hold
+        }
+        if let Some((gts, gnode)) = self.granted_to.take() {
+            self.wait_q.push_back((gts, gnode));
+        }
+        self.inquired = false;
+        self.grant_next(out);
+    }
+
+    /// Member role: the vote lent for `(ts, from)` returns.
+    fn member_release_for(
+        &mut self,
+        ts: u64,
+        from: NodeId,
+        out: &mut Vec<Action<MaekawaMsg, NoTimer>>,
+    ) {
+        if self.granted_to == Some((ts, from)) {
+            self.granted_to = None;
+            self.inquired = false;
+            self.grant_next(out);
+        } else {
+            // Stale release: the matching queued request (if any) is void.
+            self.wait_q.retain(|&(qts, qn)| !(qn == from && qts <= ts));
+        }
+    }
+}
+
+impl Protocol for MaekawaNode {
+    type Msg = MaekawaMsg;
+    type Timer = NoTimer;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn step(&mut self, input: Input<MaekawaMsg, NoTimer>) -> Vec<Action<MaekawaMsg, NoTimer>> {
+        let mut out = Vec::new();
+        match input {
+            Input::Start | Input::Crash | Input::Recover => {}
+            Input::RequestCs => {
+                debug_assert!(!self.requesting && !self.in_cs);
+                self.clock += 1;
+                self.requesting = true;
+                self.request_ts = self.clock;
+                self.failed_seen = false;
+                self.votes.clear();
+                self.pending_inquires.clear();
+                let ts = self.request_ts;
+                for &m in &self.quorum.clone() {
+                    if m == self.id {
+                        self.member_request(ts, self.id, &mut out);
+                    } else {
+                        out.push(Action::Send {
+                            to: m,
+                            msg: MaekawaMsg::Request { ts },
+                        });
+                    }
+                }
+            }
+            Input::CsDone => {
+                self.in_cs = false;
+                self.requesting = false;
+                self.votes.clear();
+                self.pending_inquires.clear();
+                let ts = self.request_ts;
+                for &m in &self.quorum.clone() {
+                    if m == self.id {
+                        self.member_release_for(ts, self.id, &mut out);
+                    } else {
+                        out.push(Action::Send {
+                            to: m,
+                            msg: MaekawaMsg::Release { ts },
+                        });
+                    }
+                }
+            }
+            Input::Timer(t) => match t {},
+            Input::Deliver { from, msg } => {
+                match msg {
+                    MaekawaMsg::Request { ts } => {
+                        self.clock = self.clock.max(ts) + 1;
+                        self.member_request(ts, from, &mut out);
+                    }
+                    MaekawaMsg::Locked { ts } => self.on_locked(from, ts, &mut out),
+                    MaekawaMsg::Failed { ts } => self.on_failed(from, ts, &mut out),
+                    MaekawaMsg::Inquire { ts } => self.on_inquire(from, ts, &mut out),
+                    MaekawaMsg::Yield { ts } => self.member_yield(ts, from, &mut out),
+                    MaekawaMsg::Release { ts } => self.member_release_for(ts, from, &mut out),
+                }
+            }
+        }
+        out
+    }
+
+    fn holds_token(&self) -> bool {
+        self.in_cs
+    }
+
+    fn algorithm(&self) -> &'static str {
+        "maekawa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_quorums_pairwise_intersect() {
+        for n in [4usize, 9, 10, 16, 25, 7] {
+            let quorums: Vec<Vec<NodeId>> = (0..n)
+                .map(|i| MaekawaConfig::quorum(NodeId::from_index(i), n))
+                .collect();
+            for a in 0..n {
+                for b in 0..n {
+                    let inter = quorums[a].iter().any(|x| quorums[b].contains(x));
+                    assert!(inter, "quorums of {a} and {b} disjoint in n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quorum_size_is_about_2_sqrt_n() {
+        let q = MaekawaConfig::quorum(NodeId(0), 25);
+        assert_eq!(q.len(), 9); // row(5) + column(5) − self
+        let q = MaekawaConfig::quorum(NodeId(7), 16);
+        assert_eq!(q.len(), 7);
+    }
+
+    #[test]
+    fn quorum_contains_self() {
+        for n in [2usize, 5, 12] {
+            for i in 0..n {
+                let id = NodeId::from_index(i);
+                assert!(MaekawaConfig::quorum(id, n).contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn single_member_grant_path() {
+        // n = 1: quorum = {self}; request grants immediately.
+        let mut node = MaekawaConfig.build(NodeId(0), 1);
+        node.step(Input::Start);
+        let acts = node.step(Input::RequestCs);
+        assert!(acts.iter().any(|a| matches!(a, Action::EnterCs)));
+        assert!(node.step(Input::CsDone).is_empty());
+    }
+
+    #[test]
+    fn votes_assemble_into_entry() {
+        // n = 4 grid (k=2): quorum of node 0 is {0, 1, 2}.
+        let mut a = MaekawaConfig.build(NodeId(0), 4);
+        a.step(Input::Start);
+        let acts = a.step(Input::RequestCs);
+        // Sends REQUEST to 1 and 2; votes for itself immediately.
+        let sends = acts
+            .iter()
+            .filter(|x| matches!(x, Action::Send { .. }))
+            .count();
+        assert_eq!(sends, 2);
+        assert!(a
+            .step(Input::Deliver {
+                from: NodeId(1),
+                msg: MaekawaMsg::Locked { ts: 1 }
+            })
+            .is_empty());
+        let acts = a.step(Input::Deliver {
+            from: NodeId(2),
+            msg: MaekawaMsg::Locked { ts: 1 },
+        });
+        assert!(acts.iter().any(|x| matches!(x, Action::EnterCs)));
+    }
+
+    #[test]
+    fn member_serializes_two_requesters() {
+        // Node 1 as a pure member: grants node 0, queues node 3, then
+        // re-grants on release.
+        let mut m = MaekawaConfig.build(NodeId(1), 4);
+        m.step(Input::Start);
+        let acts = m.step(Input::Deliver {
+            from: NodeId(0),
+            msg: MaekawaMsg::Request { ts: 1 },
+        });
+        assert!(matches!(
+            acts.as_slice(),
+            [Action::Send {
+                to: NodeId(0),
+                msg: MaekawaMsg::Locked { ts: 1 }
+            }]
+        ));
+        // Younger request gets FAILED.
+        let acts = m.step(Input::Deliver {
+            from: NodeId(3),
+            msg: MaekawaMsg::Request { ts: 5 },
+        });
+        assert!(matches!(
+            acts.as_slice(),
+            [Action::Send {
+                to: NodeId(3),
+                msg: MaekawaMsg::Failed { ts: 5 }
+            }]
+        ));
+        let acts = m.step(Input::Deliver {
+            from: NodeId(0),
+            msg: MaekawaMsg::Release { ts: 1 },
+        });
+        assert!(matches!(
+            acts.as_slice(),
+            [Action::Send {
+                to: NodeId(3),
+                msg: MaekawaMsg::Locked { ts: 5 }
+            }]
+        ));
+    }
+
+    #[test]
+    fn older_request_triggers_inquire() {
+        let mut m = MaekawaConfig.build(NodeId(1), 4);
+        m.step(Input::Start);
+        m.step(Input::Deliver {
+            from: NodeId(3),
+            msg: MaekawaMsg::Request { ts: 10 },
+        });
+        // An older (smaller-ts) request arrives: the member INQUIREs its
+        // current grantee.
+        let acts = m.step(Input::Deliver {
+            from: NodeId(0),
+            msg: MaekawaMsg::Request { ts: 2 },
+        });
+        assert!(matches!(
+            acts.as_slice(),
+            [Action::Send {
+                to: NodeId(3),
+                msg: MaekawaMsg::Inquire { ts: 10 }
+            }]
+        ));
+        // The grantee yields: the vote moves to the older request.
+        let acts = m.step(Input::Deliver {
+            from: NodeId(3),
+            msg: MaekawaMsg::Yield { ts: 10 },
+        });
+        assert!(matches!(
+            acts.as_slice(),
+            [Action::Send {
+                to: NodeId(0),
+                msg: MaekawaMsg::Locked { ts: 2 }
+            }]
+        ));
+    }
+}

@@ -1,0 +1,276 @@
+//! The Ricart–Agrawala permission-based algorithm (CACM 1981) — the
+//! "static" comparator of the paper's Figure 6.
+//!
+//! Every critical section costs exactly `2(N−1)` messages: a Lamport-
+//! timestamped REQUEST broadcast plus `N−1` REPLY messages. Replies to
+//! lower-priority concurrent requests are deferred until the local critical
+//! section completes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::api::{NoTimer, Protocol, ProtocolFactory, ProtocolMessage};
+use crate::event::{Action, Input};
+use crate::types::NodeId;
+
+/// Messages of the Ricart–Agrawala algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RaMsg {
+    /// Timestamped request for the critical section.
+    Request {
+        /// Lamport timestamp of the request.
+        ts: u64,
+    },
+    /// Permission grant.
+    Reply,
+}
+
+impl ProtocolMessage for RaMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            RaMsg::Request { .. } => "REQUEST",
+            RaMsg::Reply => "REPLY",
+        }
+    }
+}
+
+/// Configuration (and [`ProtocolFactory`]) for Ricart–Agrawala.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RaConfig;
+
+impl ProtocolFactory for RaConfig {
+    type Node = RaNode;
+    fn build(&self, id: NodeId, n: usize) -> RaNode {
+        RaNode {
+            id,
+            n,
+            clock: 0,
+            requesting: false,
+            request_ts: 0,
+            replies_outstanding: 0,
+            deferred: Vec::new(),
+            in_cs: false,
+        }
+    }
+}
+
+/// A node of the Ricart–Agrawala algorithm.
+#[derive(Debug, Clone)]
+pub struct RaNode {
+    id: NodeId,
+    n: usize,
+    clock: u64,
+    requesting: bool,
+    request_ts: u64,
+    replies_outstanding: usize,
+    deferred: Vec<NodeId>,
+    in_cs: bool,
+}
+
+impl RaNode {
+    /// Lamport total order: `(ts, id)` pairs; lower wins.
+    fn our_request_beats(&self, ts: u64, from: NodeId) -> bool {
+        (self.request_ts, self.id) < (ts, from)
+    }
+}
+
+impl Protocol for RaNode {
+    type Msg = RaMsg;
+    type Timer = NoTimer;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn step(&mut self, input: Input<RaMsg, NoTimer>) -> Vec<Action<RaMsg, NoTimer>> {
+        let mut out = Vec::new();
+        match input {
+            Input::Start | Input::Crash | Input::Recover => {}
+            Input::RequestCs => {
+                debug_assert!(!self.requesting && !self.in_cs);
+                self.clock += 1;
+                self.requesting = true;
+                self.request_ts = self.clock;
+                self.replies_outstanding = self.n - 1;
+                if self.replies_outstanding == 0 {
+                    self.in_cs = true;
+                    out.push(Action::EnterCs);
+                } else {
+                    out.push(Action::Broadcast {
+                        msg: RaMsg::Request {
+                            ts: self.request_ts,
+                        },
+                        except: Vec::new(),
+                    });
+                }
+            }
+            Input::CsDone => {
+                self.in_cs = false;
+                self.requesting = false;
+                for d in std::mem::take(&mut self.deferred) {
+                    out.push(Action::Send {
+                        to: d,
+                        msg: RaMsg::Reply,
+                    });
+                }
+            }
+            Input::Timer(t) => match t {},
+            Input::Deliver { from, msg } => match msg {
+                RaMsg::Request { ts } => {
+                    self.clock = self.clock.max(ts) + 1;
+                    let defer =
+                        self.in_cs || (self.requesting && self.our_request_beats(ts, from));
+                    if defer {
+                        self.deferred.push(from);
+                    } else {
+                        out.push(Action::Send {
+                            to: from,
+                            msg: RaMsg::Reply,
+                        });
+                    }
+                }
+                RaMsg::Reply => {
+                    if self.requesting && !self.in_cs {
+                        self.replies_outstanding = self.replies_outstanding.saturating_sub(1);
+                        if self.replies_outstanding == 0 {
+                            self.in_cs = true;
+                            out.push(Action::EnterCs);
+                        }
+                    }
+                }
+            },
+        }
+        out
+    }
+
+    fn holds_token(&self) -> bool {
+        self.in_cs
+    }
+
+    fn algorithm(&self) -> &'static str {
+        "ricart-agrawala"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn booted(id: u32, n: usize) -> RaNode {
+        let mut node = RaConfig.build(NodeId(id), n);
+        node.step(Input::Start);
+        node
+    }
+
+    #[test]
+    fn request_broadcasts_then_enters_after_all_replies() {
+        let mut a = booted(0, 3);
+        let acts = a.step(Input::RequestCs);
+        assert!(matches!(
+            acts.as_slice(),
+            [Action::Broadcast {
+                msg: RaMsg::Request { .. },
+                ..
+            }]
+        ));
+        assert!(a
+            .step(Input::Deliver {
+                from: NodeId(1),
+                msg: RaMsg::Reply
+            })
+            .is_empty());
+        let acts = a.step(Input::Deliver {
+            from: NodeId(2),
+            msg: RaMsg::Reply,
+        });
+        assert!(matches!(acts.as_slice(), [Action::EnterCs]));
+    }
+
+    #[test]
+    fn lower_timestamp_wins_concurrent_conflict() {
+        let mut a = booted(0, 2);
+        let mut b = booted(1, 2);
+        a.step(Input::RequestCs); // ts 1 at node 0
+        b.step(Input::RequestCs); // ts 1 at node 1
+        // a receives b's request: (1, n0) < (1, n1), so a defers.
+        let acts = a.step(Input::Deliver {
+            from: NodeId(1),
+            msg: RaMsg::Request { ts: 1 },
+        });
+        assert!(acts.is_empty());
+        // b receives a's request: a wins, b replies immediately.
+        let acts = b.step(Input::Deliver {
+            from: NodeId(0),
+            msg: RaMsg::Request { ts: 1 },
+        });
+        assert!(matches!(
+            acts.as_slice(),
+            [Action::Send {
+                to: NodeId(0),
+                msg: RaMsg::Reply
+            }]
+        ));
+        // a enters; on exit it releases the deferred reply to b.
+        let acts = a.step(Input::Deliver {
+            from: NodeId(1),
+            msg: RaMsg::Reply,
+        });
+        assert!(matches!(acts.as_slice(), [Action::EnterCs]));
+        let acts = a.step(Input::CsDone);
+        assert!(matches!(
+            acts.as_slice(),
+            [Action::Send {
+                to: NodeId(1),
+                msg: RaMsg::Reply
+            }]
+        ));
+        let acts = b.step(Input::Deliver {
+            from: NodeId(0),
+            msg: RaMsg::Reply,
+        });
+        assert!(matches!(acts.as_slice(), [Action::EnterCs]));
+    }
+
+    #[test]
+    fn in_cs_always_defers() {
+        let mut a = booted(0, 2);
+        a.step(Input::RequestCs);
+        a.step(Input::Deliver {
+            from: NodeId(1),
+            msg: RaMsg::Reply,
+        });
+        assert!(a.holds_token());
+        let acts = a.step(Input::Deliver {
+            from: NodeId(1),
+            msg: RaMsg::Request { ts: 100 },
+        });
+        assert!(acts.is_empty(), "requests during CS must be deferred");
+    }
+
+    #[test]
+    fn single_node_system_enters_immediately() {
+        let mut a = booted(0, 1);
+        let acts = a.step(Input::RequestCs);
+        assert!(matches!(acts.as_slice(), [Action::EnterCs]));
+    }
+
+    #[test]
+    fn lamport_clock_advances_on_receive() {
+        let mut a = booted(0, 2);
+        a.step(Input::Deliver {
+            from: NodeId(1),
+            msg: RaMsg::Request { ts: 41 },
+        });
+        let acts = a.step(Input::RequestCs);
+        match acts.as_slice() {
+            [Action::Broadcast {
+                msg: RaMsg::Request { ts },
+                ..
+            }] => assert!(*ts > 41, "clock must exceed observed timestamps"),
+            other => panic!("unexpected actions: {other:?}"),
+        }
+    }
+}

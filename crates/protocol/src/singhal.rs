@@ -1,0 +1,392 @@
+//! Singhal's dynamic information-structure algorithm (TPDS 1992) — the
+//! "dynamic" comparator of the paper's Figure 6.
+//!
+//! Each node maintains a *state vector* `SV` (what it believes every other
+//! node is doing) and sequence numbers `SN`; the token carries its own pair
+//! (`TSV`, `TSN`). A requester sends REQUEST only to nodes it believes are
+//! requesting — the staircase initialization guarantees the token holder is
+//! always reachable — so message cost is `≈ N/2` at low load, `≈ N` at
+//! high load.
+
+use serde::{Deserialize, Serialize};
+
+use crate::api::{NoTimer, Protocol, ProtocolFactory, ProtocolMessage};
+use crate::event::{Action, Input};
+use crate::types::NodeId;
+
+/// A node's belief about another node (Singhal's `SV` entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SiteState {
+    /// Not requesting.
+    N,
+    /// Requesting.
+    R,
+    /// Executing its critical section.
+    E,
+    /// Holding the token idle.
+    H,
+}
+
+/// The token of Singhal's algorithm.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SinghalToken {
+    /// `TSV[j]`: the token's view of node `j`'s state (`N` or `R`).
+    pub tsv: Vec<SiteState>,
+    /// `TSN[j]`: the token's view of node `j`'s freshest sequence number.
+    pub tsn: Vec<u64>,
+}
+
+impl SinghalToken {
+    /// The token before any requests.
+    pub fn initial(n: usize) -> Self {
+        SinghalToken {
+            tsv: vec![SiteState::N; n],
+            tsn: vec![0; n],
+        }
+    }
+}
+
+/// Messages of Singhal's algorithm.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SinghalMsg {
+    /// `REQUEST(i, sn)`.
+    Request {
+        /// The request's sequence number.
+        seq: u64,
+    },
+    /// The token.
+    Token(SinghalToken),
+}
+
+impl ProtocolMessage for SinghalMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            SinghalMsg::Request { .. } => "REQUEST",
+            SinghalMsg::Token(_) => "TOKEN",
+        }
+    }
+}
+
+/// Configuration (and [`ProtocolFactory`]) for Singhal's algorithm.
+///
+/// Node 0 initially holds the token; node `i` is initialized with the
+/// staircase pattern `SV[j] = R` for `j < i` that guarantees requests can
+/// always reach the token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SinghalConfig;
+
+impl ProtocolFactory for SinghalConfig {
+    type Node = SinghalNode;
+    fn build(&self, id: NodeId, n: usize) -> SinghalNode {
+        let mut sv = vec![SiteState::N; n];
+        for j in 0..id.index() {
+            sv[j] = SiteState::R;
+        }
+        let token = if id.index() == 0 {
+            sv[0] = SiteState::H;
+            Some(SinghalToken::initial(n))
+        } else {
+            None
+        };
+        SinghalNode {
+            id,
+            n,
+            sv,
+            sn: vec![0; n],
+            token,
+            requesting: false,
+            in_cs: false,
+        }
+    }
+}
+
+/// A node of Singhal's dynamic algorithm.
+#[derive(Debug, Clone)]
+pub struct SinghalNode {
+    id: NodeId,
+    n: usize,
+    sv: Vec<SiteState>,
+    sn: Vec<u64>,
+    token: Option<SinghalToken>,
+    requesting: bool,
+    in_cs: bool,
+}
+
+impl SinghalNode {
+    fn me(&self) -> usize {
+        self.id.index()
+    }
+
+    /// Fair round-robin scan for the next requester, starting after us.
+    fn next_requester(&self) -> Option<NodeId> {
+        (1..=self.n)
+            .map(|off| (self.me() + off) % self.n)
+            .find(|&j| j != self.me() && self.sv[j] == SiteState::R)
+            .map(NodeId::from_index)
+    }
+
+    /// Hand the token to `to`, recording its request inside the token.
+    fn send_token(&mut self, to: NodeId, out: &mut Vec<Action<SinghalMsg, NoTimer>>) {
+        let me = self.me();
+        let mut tok = self.token.take().expect("send_token requires the token");
+        tok.tsv[to.index()] = SiteState::R;
+        tok.tsn[to.index()] = self.sn[to.index()];
+        self.sv[me] = SiteState::N;
+        out.push(Action::Send {
+            to,
+            msg: SinghalMsg::Token(tok),
+        });
+    }
+}
+
+impl Protocol for SinghalNode {
+    type Msg = SinghalMsg;
+    type Timer = NoTimer;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn step(&mut self, input: Input<SinghalMsg, NoTimer>) -> Vec<Action<SinghalMsg, NoTimer>> {
+        let mut out = Vec::new();
+        let me = self.me();
+        match input {
+            Input::Start | Input::Crash | Input::Recover => {}
+            Input::RequestCs => {
+                debug_assert!(!self.requesting && !self.in_cs);
+                self.requesting = true;
+                self.sn[me] += 1;
+                if self.token.is_some() {
+                    // Idle holder: enter for free.
+                    self.sv[me] = SiteState::E;
+                    self.in_cs = true;
+                    out.push(Action::EnterCs);
+                } else {
+                    self.sv[me] = SiteState::R;
+                    let seq = self.sn[me];
+                    for j in 0..self.n {
+                        if j != me && self.sv[j] == SiteState::R {
+                            out.push(Action::Send {
+                                to: NodeId::from_index(j),
+                                msg: SinghalMsg::Request { seq },
+                            });
+                        }
+                    }
+                }
+            }
+            Input::CsDone => {
+                self.in_cs = false;
+                self.requesting = false;
+                self.sv[me] = SiteState::N;
+                let tok = self.token.as_mut().expect("CS exit holds the token");
+                tok.tsv[me] = SiteState::N;
+                // Merge local and token knowledge, freshest wins (Singhal's
+                // exit protocol).
+                for j in 0..self.n {
+                    if self.sn[j] > tok.tsn[j] {
+                        tok.tsv[j] = match self.sv[j] {
+                            SiteState::R => SiteState::R,
+                            _ => SiteState::N,
+                        };
+                        tok.tsn[j] = self.sn[j];
+                    } else {
+                        self.sv[j] = tok.tsv[j];
+                        self.sn[j] = tok.tsn[j];
+                    }
+                }
+                self.sv[me] = SiteState::N;
+                if let Some(next) = self.next_requester() {
+                    self.send_token(next, &mut out);
+                } else {
+                    self.sv[me] = SiteState::H;
+                }
+            }
+            Input::Timer(t) => match t {},
+            Input::Deliver { from, msg } => match msg {
+                SinghalMsg::Request { seq } => {
+                    let j = from.index();
+                    if seq <= self.sn[j] {
+                        return out; // stale duplicate
+                    }
+                    self.sn[j] = seq;
+                    match self.sv[me] {
+                        SiteState::N | SiteState::E => {
+                            self.sv[j] = SiteState::R;
+                        }
+                        SiteState::R => {
+                            if self.sv[j] != SiteState::R {
+                                self.sv[j] = SiteState::R;
+                                // Tell the newly discovered requester about
+                                // our own outstanding request.
+                                out.push(Action::Send {
+                                    to: from,
+                                    msg: SinghalMsg::Request { seq: self.sn[me] },
+                                });
+                            }
+                        }
+                        SiteState::H => {
+                            self.sv[j] = SiteState::R;
+                            self.send_token(from, &mut out);
+                        }
+                    }
+                }
+                SinghalMsg::Token(tok) => {
+                    debug_assert!(self.token.is_none(), "duplicate token");
+                    self.token = Some(tok);
+                    debug_assert!(self.requesting, "token arrives only on request");
+                    self.sv[me] = SiteState::E;
+                    self.in_cs = true;
+                    out.push(Action::EnterCs);
+                }
+            },
+        }
+        out
+    }
+
+    fn holds_token(&self) -> bool {
+        self.token.is_some()
+    }
+
+    fn algorithm(&self) -> &'static str {
+        "singhal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn booted(id: u32, n: usize) -> SinghalNode {
+        let mut node = SinghalConfig.build(NodeId(id), n);
+        node.step(Input::Start);
+        node
+    }
+
+    #[test]
+    fn staircase_initialization() {
+        let a = booted(3, 5);
+        assert_eq!(a.sv[0], SiteState::R);
+        assert_eq!(a.sv[1], SiteState::R);
+        assert_eq!(a.sv[2], SiteState::R);
+        assert_eq!(a.sv[3], SiteState::N);
+        assert_eq!(a.sv[4], SiteState::N);
+        let holder = booted(0, 5);
+        assert_eq!(holder.sv[0], SiteState::H);
+        assert!(holder.holds_token());
+    }
+
+    #[test]
+    fn holder_enters_for_free() {
+        let mut holder = booted(0, 4);
+        let acts = holder.step(Input::RequestCs);
+        assert!(matches!(acts.as_slice(), [Action::EnterCs]));
+        // Nobody else requesting: exit keeps the token.
+        assert!(holder.step(Input::CsDone).is_empty());
+        assert!(holder.holds_token());
+    }
+
+    #[test]
+    fn request_reaches_holder_via_staircase() {
+        // Node 1 believes only node 0 is requesting -> sends 1 message,
+        // which happens to reach the holder.
+        let mut a = booted(1, 4);
+        let acts = a.step(Input::RequestCs);
+        assert_eq!(acts.len(), 1);
+        assert!(matches!(
+            acts[0],
+            Action::Send {
+                to: NodeId(0),
+                msg: SinghalMsg::Request { seq: 1 }
+            }
+        ));
+        let mut holder = booted(0, 4);
+        let acts = holder.step(Input::Deliver {
+            from: NodeId(1),
+            msg: SinghalMsg::Request { seq: 1 },
+        });
+        assert!(matches!(
+            acts.as_slice(),
+            [Action::Send {
+                to: NodeId(1),
+                msg: SinghalMsg::Token(_)
+            }]
+        ));
+        assert!(!holder.holds_token());
+        // Token grants entry at node 1.
+        let tok = SinghalToken::initial(4);
+        let acts = a.step(Input::Deliver {
+            from: NodeId(0),
+            msg: SinghalMsg::Token(tok),
+        });
+        assert!(matches!(acts.as_slice(), [Action::EnterCs]));
+    }
+
+    #[test]
+    fn concurrent_requesters_learn_about_each_other() {
+        let mut a = booted(2, 4);
+        a.step(Input::RequestCs); // a now requesting
+        // A request from a node a did not know was requesting: a tells it
+        // about its own request.
+        let acts = a.step(Input::Deliver {
+            from: NodeId(3),
+            msg: SinghalMsg::Request { seq: 1 },
+        });
+        assert!(matches!(
+            acts.as_slice(),
+            [Action::Send {
+                to: NodeId(3),
+                msg: SinghalMsg::Request { .. }
+            }]
+        ));
+        // A duplicate does not trigger another exchange.
+        let acts = a.step(Input::Deliver {
+            from: NodeId(3),
+            msg: SinghalMsg::Request { seq: 1 },
+        });
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn exit_passes_token_to_known_requester() {
+        let mut holder = booted(0, 3);
+        holder.step(Input::RequestCs);
+        holder.step(Input::Deliver {
+            from: NodeId(2),
+            msg: SinghalMsg::Request { seq: 1 },
+        });
+        let acts = holder.step(Input::CsDone);
+        assert!(matches!(
+            acts.as_slice(),
+            [Action::Send {
+                to: NodeId(2),
+                msg: SinghalMsg::Token(_)
+            }]
+        ));
+    }
+
+    #[test]
+    fn token_merge_prefers_freshest_information() {
+        let mut holder = booted(0, 3);
+        holder.step(Input::RequestCs);
+        // Token knows node 1 requested with seq 5 (from a past cycle);
+        // locally we only saw seq 3.
+        let tok = holder.token.as_mut().unwrap();
+        tok.tsv[1] = SiteState::R;
+        tok.tsn[1] = 5;
+        holder.sn[1] = 3;
+        holder.sv[1] = SiteState::N;
+        let acts = holder.step(Input::CsDone);
+        // Merge adopts the token's fresher R state, so the token moves on.
+        assert!(matches!(
+            acts.as_slice(),
+            [Action::Send {
+                to: NodeId(1),
+                msg: SinghalMsg::Token(_)
+            }]
+        ));
+    }
+}

@@ -1,0 +1,326 @@
+//! The Suzuki–Kasami broadcast token algorithm (TOCS 1985) — the paper's
+//! closest token-based relative (the arbiter algorithm is described as a
+//! "reverse" Suzuki–Kasami).
+//!
+//! A request broadcasts `REQUEST(j, n)` to all `N−1` other nodes; the token
+//! carries the `LN` array of last-granted sequence numbers and a FIFO queue
+//! of known requesters. Cost per critical section: `N` messages when the
+//! requester does not hold the token, `0` when it does.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::api::{NoTimer, Protocol, ProtocolFactory, ProtocolMessage};
+use crate::event::{Action, Input};
+use crate::types::NodeId;
+
+/// The Suzuki–Kasami token.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkToken {
+    /// `LN[j]`: sequence number of node `j`'s most recently granted request.
+    pub ln: Vec<u64>,
+    /// FIFO queue of nodes with known outstanding requests.
+    pub queue: VecDeque<NodeId>,
+}
+
+impl SkToken {
+    /// The token of an `n`-node system before any grants.
+    pub fn initial(n: usize) -> Self {
+        SkToken {
+            ln: vec![0; n],
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+/// Messages of the Suzuki–Kasami algorithm.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SkMsg {
+    /// `REQUEST(j, n)` broadcast by requester `j` with sequence number `n`.
+    Request {
+        /// Sequence number of the request.
+        seq: u64,
+    },
+    /// The PRIVILEGE token.
+    Privilege(SkToken),
+}
+
+impl ProtocolMessage for SkMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            SkMsg::Request { .. } => "REQUEST",
+            SkMsg::Privilege(_) => "PRIVILEGE",
+        }
+    }
+}
+
+/// Configuration (and [`ProtocolFactory`]) for Suzuki–Kasami.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkConfig {
+    /// The node initially holding the token.
+    pub initial_holder: NodeId,
+}
+
+impl Default for SkConfig {
+    fn default() -> Self {
+        SkConfig {
+            initial_holder: NodeId(0),
+        }
+    }
+}
+
+impl ProtocolFactory for SkConfig {
+    type Node = SkNode;
+    fn build(&self, id: NodeId, n: usize) -> SkNode {
+        assert!(self.initial_holder.index() < n, "holder out of range");
+        SkNode {
+            id,
+            n,
+            rn: vec![0; n],
+            token: if id == self.initial_holder {
+                Some(SkToken::initial(n))
+            } else {
+                None
+            },
+            requesting: false,
+            in_cs: false,
+        }
+    }
+}
+
+/// A node of the Suzuki–Kasami algorithm.
+#[derive(Debug, Clone)]
+pub struct SkNode {
+    id: NodeId,
+    n: usize,
+    /// `RN[j]`: highest request sequence number heard from node `j`.
+    rn: Vec<u64>,
+    token: Option<SkToken>,
+    requesting: bool,
+    in_cs: bool,
+}
+
+impl SkNode {
+    /// After finishing a critical section (or while holding the token
+    /// idle), release the token to the next outstanding requester, if any.
+    fn release_token(&mut self, out: &mut Vec<Action<SkMsg, NoTimer>>) {
+        let Some(tok) = self.token.as_mut() else {
+            return;
+        };
+        // Append every node whose request is newer than its last grant and
+        // that is not already queued (the paper's exit protocol).
+        for j in 0..self.n {
+            let nj = NodeId::from_index(j);
+            if nj != self.id && self.rn[j] == tok.ln[j] + 1 && !tok.queue.contains(&nj) {
+                tok.queue.push_back(nj);
+            }
+        }
+        if let Some(next) = tok.queue.pop_front() {
+            let tok = self.token.take().expect("token present");
+            out.push(Action::Send {
+                to: next,
+                msg: SkMsg::Privilege(tok),
+            });
+        }
+    }
+}
+
+impl Protocol for SkNode {
+    type Msg = SkMsg;
+    type Timer = NoTimer;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn step(&mut self, input: Input<SkMsg, NoTimer>) -> Vec<Action<SkMsg, NoTimer>> {
+        let mut out = Vec::new();
+        match input {
+            Input::Start | Input::Crash | Input::Recover => {}
+            Input::RequestCs => {
+                debug_assert!(!self.requesting && !self.in_cs);
+                self.requesting = true;
+                if self.token.is_some() {
+                    // Idle token holder: zero messages (the low-load best
+                    // case the paper compares against).
+                    self.in_cs = true;
+                    out.push(Action::EnterCs);
+                } else {
+                    let me = self.id.index();
+                    self.rn[me] += 1;
+                    out.push(Action::Broadcast {
+                        msg: SkMsg::Request { seq: self.rn[me] },
+                        except: Vec::new(),
+                    });
+                }
+            }
+            Input::CsDone => {
+                self.in_cs = false;
+                self.requesting = false;
+                let me = self.id.index();
+                let rn_me = self.rn[me];
+                if let Some(tok) = self.token.as_mut() {
+                    tok.ln[me] = rn_me;
+                }
+                self.release_token(&mut out);
+            }
+            Input::Timer(t) => match t {},
+            Input::Deliver { from, msg } => match msg {
+                SkMsg::Request { seq } => {
+                    let j = from.index();
+                    self.rn[j] = self.rn[j].max(seq);
+                    // An idle holder passes the token straight to a fresh
+                    // requester.
+                    if !self.in_cs && !self.requesting {
+                        self.release_token(&mut out);
+                    }
+                }
+                SkMsg::Privilege(tok) => {
+                    debug_assert!(self.token.is_none(), "duplicate token");
+                    self.token = Some(tok);
+                    if self.requesting {
+                        self.in_cs = true;
+                        out.push(Action::EnterCs);
+                    } else {
+                        // Arrived for a request we no longer hold (cannot
+                        // happen with per-node sequence numbers, but be
+                        // safe): pass it on or park it.
+                        self.release_token(&mut out);
+                    }
+                }
+            },
+        }
+        out
+    }
+
+    fn holds_token(&self) -> bool {
+        self.token.is_some()
+    }
+
+    fn algorithm(&self) -> &'static str {
+        "suzuki-kasami"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn booted(id: u32, n: usize) -> SkNode {
+        let mut node = SkConfig::default().build(NodeId(id), n);
+        node.step(Input::Start);
+        node
+    }
+
+    #[test]
+    fn idle_holder_enters_for_free() {
+        let mut holder = booted(0, 3);
+        let acts = holder.step(Input::RequestCs);
+        assert!(matches!(acts.as_slice(), [Action::EnterCs]));
+        assert!(holder.step(Input::CsDone).is_empty());
+        assert!(holder.holds_token());
+    }
+
+    #[test]
+    fn remote_request_costs_broadcast_plus_token() {
+        let mut holder = booted(0, 3);
+        let mut other = booted(1, 3);
+        let acts = other.step(Input::RequestCs);
+        assert!(matches!(
+            acts.as_slice(),
+            [Action::Broadcast {
+                msg: SkMsg::Request { seq: 1 },
+                ..
+            }]
+        ));
+        // Idle holder hands the token over immediately.
+        let acts = holder.step(Input::Deliver {
+            from: NodeId(1),
+            msg: SkMsg::Request { seq: 1 },
+        });
+        match acts.as_slice() {
+            [Action::Send {
+                to: NodeId(1),
+                msg: SkMsg::Privilege(_),
+            }] => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(!holder.holds_token());
+    }
+
+    #[test]
+    fn exit_passes_token_down_queue() {
+        let mut holder = booted(0, 3);
+        holder.step(Input::RequestCs); // enters own CS
+        holder.step(Input::Deliver {
+            from: NodeId(1),
+            msg: SkMsg::Request { seq: 1 },
+        });
+        holder.step(Input::Deliver {
+            from: NodeId(2),
+            msg: SkMsg::Request { seq: 1 },
+        });
+        let acts = holder.step(Input::CsDone);
+        // Token goes to the first requester, with node 2 queued inside it.
+        match acts.as_slice() {
+            [Action::Send {
+                to: NodeId(1),
+                msg: SkMsg::Privilege(tok),
+            }] => {
+                assert_eq!(tok.queue.front(), Some(&NodeId(2)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_request_does_not_move_token() {
+        let mut holder = booted(0, 2);
+        // Grant node 1's request #1 through a full cycle.
+        holder.step(Input::Deliver {
+            from: NodeId(1),
+            msg: SkMsg::Request { seq: 1 },
+        });
+        assert!(!holder.holds_token());
+        // Token returns after node 1's CS: LN[1] = 1.
+        let mut tok = SkToken::initial(2);
+        tok.ln[1] = 1;
+        holder.step(Input::Deliver {
+            from: NodeId(1),
+            msg: SkMsg::Privilege(tok),
+        });
+        // A duplicate of the old request must not trigger another grant.
+        let acts = holder.step(Input::Deliver {
+            from: NodeId(1),
+            msg: SkMsg::Request { seq: 1 },
+        });
+        assert!(acts.is_empty());
+        assert!(holder.holds_token());
+    }
+
+    #[test]
+    fn token_received_while_not_requesting_is_forwarded() {
+        let mut a = booted(1, 3);
+        // Node 2 has an outstanding request a knows about.
+        a.step(Input::Deliver {
+            from: NodeId(2),
+            msg: SkMsg::Request { seq: 1 },
+        });
+        let acts = a.step(Input::Deliver {
+            from: NodeId(0),
+            msg: SkMsg::Privilege(SkToken::initial(3)),
+        });
+        match acts.as_slice() {
+            [Action::Send {
+                to: NodeId(2),
+                msg: SkMsg::Privilege(_),
+            }] => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

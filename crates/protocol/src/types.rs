@@ -1,0 +1,327 @@
+//! Core identifier and time newtypes shared by every protocol.
+//!
+//! All protocols in this crate are *sans-io*: they never read clocks or
+//! sockets. Durations are expressed as [`TimeDelta`] values that the driver
+//! (simulator or threaded runtime) maps onto its own notion of time.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of a node in the distributed system.
+///
+/// Node ids are dense indices `0..n`, assigned by the driver. The paper
+/// numbers nodes from 1; we use 0-based ids and render them 0-based
+/// everywhere for consistency with the code.
+///
+/// # Examples
+///
+/// ```
+/// use tokq_protocol::types::NodeId;
+///
+/// let a = NodeId(0);
+/// let b = NodeId(1);
+/// assert!(a < b);
+/// assert_eq!(a.index(), 0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index, for indexing per-node tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a `NodeId` from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in a `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Per-node request sequence number.
+///
+/// The paper's §2.4 fairness refinement tags `REQUEST(j, n)` with the count
+/// `n` of critical sections node `j` has requested. Sequence numbers let an
+/// arbiter discard stale duplicates created by retransmission, exactly as in
+/// Suzuki–Kasami.
+///
+/// # Examples
+///
+/// ```
+/// use tokq_protocol::types::SeqNum;
+///
+/// let mut s = SeqNum::ZERO;
+/// s = s.next();
+/// assert_eq!(s, SeqNum(1));
+/// assert!(SeqNum(2) > s);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SeqNum(pub u64);
+
+impl SeqNum {
+    /// The zero sequence number (no request issued yet).
+    pub const ZERO: SeqNum = SeqNum(0);
+
+    /// Returns the successor sequence number.
+    #[inline]
+    #[must_use]
+    pub fn next(self) -> SeqNum {
+        SeqNum(self.0 + 1)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Static node priority for the paper's §5.2 prioritized-access mode.
+///
+/// Larger values are *more* important and are ordered first in the Q-list
+/// when [`crate::arbiter::Fairness::Priority`] is selected.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Priority(pub u32);
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A span of virtual or real time, in nanoseconds.
+///
+/// `TimeDelta` is the only time vocabulary protocols use: they request
+/// timers "`delta` from now" and never observe absolute time. The simulator
+/// interprets deltas on its virtual clock; the threaded runtime maps them to
+/// [`std::time::Duration`].
+///
+/// # Examples
+///
+/// ```
+/// use tokq_protocol::types::TimeDelta;
+///
+/// let t = TimeDelta::from_millis(100);
+/// assert_eq!(t.as_nanos(), 100_000_000);
+/// assert_eq!(t * 3, TimeDelta::from_millis(300));
+/// assert_eq!(TimeDelta::from_secs_f64(0.1), t);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TimeDelta(u64);
+
+impl TimeDelta {
+    /// A zero-length span.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+
+    /// Creates a span from whole nanoseconds.
+    #[inline]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        TimeDelta(nanos)
+    }
+
+    /// Creates a span from whole microseconds.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        TimeDelta(micros * 1_000)
+    }
+
+    /// Creates a span from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(millis: u64) -> Self {
+        TimeDelta(millis * 1_000_000)
+    }
+
+    /// Creates a span from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        TimeDelta(secs * 1_000_000_000)
+    }
+
+    /// Creates a span from fractional seconds, rounding to nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "time delta must be finite and non-negative, got {secs}"
+        );
+        TimeDelta((secs * 1e9).round() as u64)
+    }
+
+    /// This span in whole nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This span in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating addition of two spans.
+    #[inline]
+    #[must_use]
+    pub fn saturating_add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction of two spans.
+    #[inline]
+    #[must_use]
+    pub fn saturating_sub(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.saturating_sub(rhs.0))
+    }
+
+    /// True when the span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::ops::Add for TimeDelta {
+    type Output = TimeDelta;
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Sub for TimeDelta {
+    type Output = TimeDelta;
+    fn sub(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::Mul<u64> for TimeDelta {
+    type Output = TimeDelta;
+    fn mul(self, rhs: u64) -> TimeDelta {
+        TimeDelta(self.0 * rhs)
+    }
+}
+
+impl std::ops::Div<u64> for TimeDelta {
+    type Output = TimeDelta;
+    fn div(self, rhs: u64) -> TimeDelta {
+        TimeDelta(self.0 / rhs)
+    }
+}
+
+impl From<TimeDelta> for std::time::Duration {
+    fn from(d: TimeDelta) -> Self {
+        std::time::Duration::from_nanos(d.as_nanos())
+    }
+}
+
+impl From<std::time::Duration> for TimeDelta {
+    fn from(d: std::time::Duration) -> Self {
+        TimeDelta(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "n7");
+        assert_eq!(NodeId::from(7u32), id);
+    }
+
+    #[test]
+    fn seq_num_ordering_and_next() {
+        assert_eq!(SeqNum::ZERO.next(), SeqNum(1));
+        assert!(SeqNum(3) > SeqNum(2));
+        assert_eq!(SeqNum(5).to_string(), "#5");
+    }
+
+    #[test]
+    fn time_delta_constructors_agree() {
+        assert_eq!(TimeDelta::from_micros(1), TimeDelta::from_nanos(1_000));
+        assert_eq!(TimeDelta::from_millis(1), TimeDelta::from_micros(1_000));
+        assert_eq!(TimeDelta::from_secs(1), TimeDelta::from_millis(1_000));
+        assert_eq!(TimeDelta::from_secs_f64(0.5), TimeDelta::from_millis(500));
+    }
+
+    #[test]
+    fn time_delta_arithmetic() {
+        let a = TimeDelta::from_millis(3);
+        let b = TimeDelta::from_millis(2);
+        assert_eq!(a + b, TimeDelta::from_millis(5));
+        assert_eq!(a - b, TimeDelta::from_millis(1));
+        assert_eq!(b * 4, TimeDelta::from_millis(8));
+        assert_eq!(a / 3, TimeDelta::from_millis(1));
+        assert_eq!(b.saturating_sub(a), TimeDelta::ZERO);
+        assert_eq!(
+            TimeDelta::from_nanos(u64::MAX).saturating_add(b),
+            TimeDelta::from_nanos(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn time_delta_secs_f64_roundtrip() {
+        let d = TimeDelta::from_secs_f64(0.123_456_789);
+        assert!((d.as_secs_f64() - 0.123_456_789).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn time_delta_rejects_negative() {
+        let _ = TimeDelta::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn duration_conversions() {
+        let d = TimeDelta::from_millis(250);
+        let sd: std::time::Duration = d.into();
+        assert_eq!(sd, std::time::Duration::from_millis(250));
+        assert_eq!(TimeDelta::from(sd), d);
+    }
+
+    #[test]
+    fn is_zero() {
+        assert!(TimeDelta::ZERO.is_zero());
+        assert!(!TimeDelta::from_nanos(1).is_zero());
+    }
+}

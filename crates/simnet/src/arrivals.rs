@@ -1,0 +1,244 @@
+//! Arrival processes: how critical-section requests are generated.
+//!
+//! The paper's simulation uses independent Poisson arrivals of rate λ at
+//! every node (§3.3); the trait also supports closed-loop (think-time)
+//! generation for driving the system to exact saturation in the heavy-load
+//! validation experiments.
+
+use tokq_protocol::types::TimeDelta;
+
+use crate::rng::SimRng;
+
+/// When the next request of a node is scheduled relative to its history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pacing {
+    /// Open loop: each arrival is scheduled relative to the previous
+    /// *arrival*, regardless of service (Poisson and friends).
+    OpenLoop,
+    /// Closed loop: the next request is scheduled relative to the previous
+    /// request's *completion* (think-time model; zero think time saturates
+    /// the node, the paper's "heavy load" regime).
+    ClosedLoop,
+}
+
+/// A per-node stream of request inter-arrival times.
+pub trait ArrivalProcess: Send {
+    /// Open- or closed-loop scheduling for this stream.
+    fn pacing(&self) -> Pacing;
+
+    /// The next inter-arrival (or think-time) draw; `None` ends the stream.
+    fn next_delay(&mut self, rng: &mut SimRng) -> Option<TimeDelta>;
+}
+
+/// Builds one [`ArrivalProcess`] per node. Implemented by workload types.
+pub trait WorkloadSpec {
+    /// The per-node process type.
+    type Process: ArrivalProcess + 'static;
+
+    /// Builds the stream for node `node` of `n`.
+    fn build(&self, node: usize, n: usize) -> Self::Process;
+}
+
+/// Poisson arrivals with rate λ (requests/second) — the paper's workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    /// Arrival rate λ in requests per second per node.
+    pub rate: f64,
+}
+
+impl Poisson {
+    /// A Poisson stream of `rate` requests/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "Poisson rate must be positive, got {rate}");
+        Poisson { rate }
+    }
+}
+
+impl ArrivalProcess for Poisson {
+    fn pacing(&self) -> Pacing {
+        Pacing::OpenLoop
+    }
+
+    fn next_delay(&mut self, rng: &mut SimRng) -> Option<TimeDelta> {
+        Some(TimeDelta::from_secs_f64(rng.exponential(self.rate)))
+    }
+}
+
+impl WorkloadSpec for Poisson {
+    type Process = Poisson;
+    fn build(&self, _node: usize, _n: usize) -> Poisson {
+        *self
+    }
+}
+
+/// Closed-loop generation with a fixed think time; zero think time keeps a
+/// request outstanding at every node permanently (exact saturation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClosedLoop {
+    /// Pause between a completion and the next request.
+    pub think: TimeDelta,
+}
+
+impl ClosedLoop {
+    /// Saturation: a new request the instant the previous one completes.
+    pub fn saturating() -> Self {
+        ClosedLoop {
+            think: TimeDelta::ZERO,
+        }
+    }
+}
+
+impl ArrivalProcess for ClosedLoop {
+    fn pacing(&self) -> Pacing {
+        Pacing::ClosedLoop
+    }
+
+    fn next_delay(&mut self, _rng: &mut SimRng) -> Option<TimeDelta> {
+        Some(self.think)
+    }
+}
+
+impl WorkloadSpec for ClosedLoop {
+    type Process = ClosedLoop;
+    fn build(&self, _node: usize, _n: usize) -> ClosedLoop {
+        *self
+    }
+}
+
+/// A finite, scripted list of absolute-ish delays (used by the Figure 2
+/// walkthrough and unit tests): emits each delay once, then stops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scripted {
+    delays: std::collections::VecDeque<TimeDelta>,
+    pacing: Pacing,
+}
+
+impl Scripted {
+    /// An open-loop script of inter-arrival gaps.
+    pub fn open_loop<I: IntoIterator<Item = TimeDelta>>(gaps: I) -> Self {
+        Scripted {
+            delays: gaps.into_iter().collect(),
+            pacing: Pacing::OpenLoop,
+        }
+    }
+
+    /// A stream that never produces requests.
+    pub fn silent() -> Self {
+        Scripted {
+            delays: std::collections::VecDeque::new(),
+            pacing: Pacing::OpenLoop,
+        }
+    }
+}
+
+impl ArrivalProcess for Scripted {
+    fn pacing(&self) -> Pacing {
+        self.pacing
+    }
+
+    fn next_delay(&mut self, _rng: &mut SimRng) -> Option<TimeDelta> {
+        self.delays.pop_front()
+    }
+}
+
+/// Type-erased workload builder, letting heterogeneous per-node processes
+/// coexist (e.g. the Figure 2 script, or hot/cold node mixes).
+pub struct DynWorkload {
+    builder: Box<dyn Fn(usize, usize) -> Box<dyn ArrivalProcess> + Send + Sync>,
+}
+
+impl std::fmt::Debug for DynWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynWorkload").finish_non_exhaustive()
+    }
+}
+
+impl DynWorkload {
+    /// Wraps a per-node builder closure.
+    pub fn new<F>(builder: F) -> Self
+    where
+        F: Fn(usize, usize) -> Box<dyn ArrivalProcess> + Send + Sync + 'static,
+    {
+        DynWorkload {
+            builder: Box::new(builder),
+        }
+    }
+}
+
+impl WorkloadSpec for DynWorkload {
+    type Process = Box<dyn ArrivalProcess>;
+    fn build(&self, node: usize, n: usize) -> Box<dyn ArrivalProcess> {
+        (self.builder)(node, n)
+    }
+}
+
+impl ArrivalProcess for Box<dyn ArrivalProcess> {
+    fn pacing(&self) -> Pacing {
+        self.as_ref().pacing()
+    }
+    fn next_delay(&mut self, rng: &mut SimRng) -> Option<TimeDelta> {
+        self.as_mut().next_delay(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_interarrival() {
+        let mut p = Poisson::new(10.0);
+        let mut rng = SimRng::new(1);
+        let n = 100_000;
+        let sum: f64 = (0..n)
+            .map(|_| p.next_delay(&mut rng).unwrap().as_secs_f64())
+            .sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.1).abs() < 0.005, "mean inter-arrival {mean}");
+        assert_eq!(p.pacing(), Pacing::OpenLoop);
+    }
+
+    #[test]
+    fn closed_loop_thinks() {
+        let mut c = ClosedLoop::saturating();
+        let mut rng = SimRng::new(2);
+        assert_eq!(c.next_delay(&mut rng), Some(TimeDelta::ZERO));
+        assert_eq!(c.pacing(), Pacing::ClosedLoop);
+    }
+
+    #[test]
+    fn scripted_runs_out() {
+        let mut s = Scripted::open_loop([TimeDelta::from_secs(1), TimeDelta::from_secs(2)]);
+        let mut rng = SimRng::new(3);
+        assert_eq!(s.next_delay(&mut rng), Some(TimeDelta::from_secs(1)));
+        assert_eq!(s.next_delay(&mut rng), Some(TimeDelta::from_secs(2)));
+        assert_eq!(s.next_delay(&mut rng), None);
+        assert_eq!(Scripted::silent().delays.len(), 0);
+    }
+
+    #[test]
+    fn dyn_workload_builds_per_node() {
+        let w = DynWorkload::new(|node, _n| {
+            if node == 0 {
+                Box::new(Poisson::new(1.0))
+            } else {
+                Box::new(Scripted::silent())
+            }
+        });
+        let mut rng = SimRng::new(4);
+        let mut p0 = w.build(0, 2);
+        let mut p1 = w.build(1, 2);
+        assert!(p0.next_delay(&mut rng).is_some());
+        assert!(p1.next_delay(&mut rng).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn poisson_validates_rate() {
+        let _ = Poisson::new(0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Fault injection plans: node crashes/recoveries, loss windows, and
+//! targeted token drops (paper §6's failure scenarios).
+
+use serde::{Deserialize, Serialize};
+use tokq_protocol::types::NodeId;
+
+use crate::time::SimTime;
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Node `node` crashes at `at`, losing all volatile state; in-flight
+    /// messages to it are discarded on delivery.
+    Crash {
+        /// When the crash happens.
+        at: SimTime,
+        /// The crashing node.
+        node: NodeId,
+    },
+    /// Node `node` restarts at `at` with fresh state.
+    Recover {
+        /// When the recovery happens.
+        at: SimTime,
+        /// The recovering node.
+        node: NodeId,
+    },
+    /// Every message sent in `[from, until)` is dropped with probability
+    /// `prob` (on top of the network's base loss).
+    LossWindow {
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+        /// Drop probability inside the window.
+        prob: f64,
+    },
+    /// Drop the next `count` token-carrying messages sent at or after
+    /// `at` — the paper's "PRIVILEGE message was dropped" scenario,
+    /// injected deterministically.
+    DropToken {
+        /// Earliest time the drops apply.
+        at: SimTime,
+        /// Number of token messages to drop.
+        count: u32,
+    },
+}
+
+/// A network partition: during `[from, until)` messages crossing between
+/// the `island` and the rest of the system are dropped in both directions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Window start.
+    pub from: SimTime,
+    /// Window end (exclusive) — the partition heals here.
+    pub until: SimTime,
+    /// Nodes cut off from the remainder.
+    pub island: Vec<NodeId>,
+}
+
+/// A collection of scheduled faults.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+    partitions: Vec<Partition>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (the paper's fault-free experiments).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault, returning `self` for chaining.
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Crash `node` at `at`.
+    #[must_use]
+    pub fn crash(self, node: NodeId, at: SimTime) -> Self {
+        self.with(Fault::Crash { at, node })
+    }
+
+    /// Recover `node` at `at`.
+    #[must_use]
+    pub fn recover(self, node: NodeId, at: SimTime) -> Self {
+        self.with(Fault::Recover { at, node })
+    }
+
+    /// Drop the next `count` token messages at or after `at`.
+    #[must_use]
+    pub fn drop_token(self, at: SimTime, count: u32) -> Self {
+        self.with(Fault::DropToken { at, count })
+    }
+
+    /// Isolate `island` from the rest of the system during `[from, until)`.
+    #[must_use]
+    pub fn partition(mut self, island: Vec<NodeId>, from: SimTime, until: SimTime) -> Self {
+        self.partitions.push(Partition {
+            from,
+            until,
+            island,
+        });
+        self
+    }
+
+    /// True when a message from `a` to `b` at time `now` crosses an active
+    /// partition boundary.
+    pub fn crosses_partition(&self, a: NodeId, b: NodeId, now: SimTime) -> bool {
+        self.partitions.iter().any(|p| {
+            now >= p.from
+                && now < p.until
+                && (p.island.contains(&a) != p.island.contains(&b))
+        })
+    }
+
+    /// All crash/recover events, for scheduling.
+    pub fn node_events(&self) -> impl Iterator<Item = (SimTime, NodeId, bool)> + '_ {
+        self.faults.iter().filter_map(|f| match *f {
+            Fault::Crash { at, node } => Some((at, node, true)),
+            Fault::Recover { at, node } => Some((at, node, false)),
+            _ => None,
+        })
+    }
+
+    /// Extra loss probability applying to a message sent at `now`.
+    pub fn extra_loss_at(&self, now: SimTime) -> f64 {
+        let mut p = 0.0f64;
+        for f in &self.faults {
+            if let Fault::LossWindow { from, until, prob } = *f {
+                if now >= from && now < until {
+                    p = p.max(prob);
+                }
+            }
+        }
+        p
+    }
+
+    /// All token-drop directives.
+    pub fn token_drops(&self) -> impl Iterator<Item = (SimTime, u32)> + '_ {
+        self.faults.iter().filter_map(|f| match *f {
+            Fault::DropToken { at, count } => Some((at, count)),
+            _ => None,
+        })
+    }
+
+    /// True when the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty() && self.partitions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let plan = FaultPlan::none()
+            .crash(NodeId(2), SimTime::from_secs_f64(1.0))
+            .recover(NodeId(2), SimTime::from_secs_f64(2.0))
+            .drop_token(SimTime::from_secs_f64(0.5), 1);
+        assert!(!plan.is_empty());
+        let events: Vec<_> = plan.node_events().collect();
+        assert_eq!(
+            events,
+            vec![
+                (SimTime::from_secs_f64(1.0), NodeId(2), true),
+                (SimTime::from_secs_f64(2.0), NodeId(2), false)
+            ]
+        );
+        assert_eq!(
+            plan.token_drops().collect::<Vec<_>>(),
+            vec![(SimTime::from_secs_f64(0.5), 1)]
+        );
+    }
+
+    #[test]
+    fn partition_cuts_both_directions_within_window() {
+        let plan = FaultPlan::none().partition(
+            vec![NodeId(0), NodeId(1)],
+            SimTime::from_secs_f64(5.0),
+            SimTime::from_secs_f64(10.0),
+        );
+        let t = SimTime::from_secs_f64(7.0);
+        assert!(plan.crosses_partition(NodeId(0), NodeId(2), t));
+        assert!(plan.crosses_partition(NodeId(2), NodeId(1), t));
+        // Same side: allowed.
+        assert!(!plan.crosses_partition(NodeId(0), NodeId(1), t));
+        assert!(!plan.crosses_partition(NodeId(2), NodeId(3), t));
+        // Outside the window: healed.
+        assert!(!plan.crosses_partition(NodeId(0), NodeId(2), SimTime::from_secs_f64(10.0)));
+        assert!(!plan.crosses_partition(NodeId(0), NodeId(2), SimTime::from_secs_f64(1.0)));
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn loss_window_bounds() {
+        let plan = FaultPlan::none().with(Fault::LossWindow {
+            from: SimTime::from_secs_f64(1.0),
+            until: SimTime::from_secs_f64(2.0),
+            prob: 0.7,
+        });
+        assert_eq!(plan.extra_loss_at(SimTime::from_secs_f64(0.9)), 0.0);
+        assert_eq!(plan.extra_loss_at(SimTime::from_secs_f64(1.5)), 0.7);
+        assert_eq!(plan.extra_loss_at(SimTime::from_secs_f64(2.0)), 0.0);
+    }
+
+    #[test]
+    fn overlapping_windows_take_max() {
+        let plan = FaultPlan::none()
+            .with(Fault::LossWindow {
+                from: SimTime::ZERO,
+                until: SimTime::from_secs_f64(10.0),
+                prob: 0.1,
+            })
+            .with(Fault::LossWindow {
+                from: SimTime::from_secs_f64(5.0),
+                until: SimTime::from_secs_f64(6.0),
+                prob: 0.9,
+            });
+        assert_eq!(plan.extra_loss_at(SimTime::from_secs_f64(5.5)), 0.9);
+        assert_eq!(plan.extra_loss_at(SimTime::from_secs_f64(7.0)), 0.1);
+    }
+}

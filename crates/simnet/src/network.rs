@@ -1,0 +1,169 @@
+//! The simulated network: delay models and unreliability knobs.
+//!
+//! The paper's analysis assumes a constant message delay `T_msg` between
+//! any two nodes and no topology ([`DelayModel::Constant`] on a fully
+//! connected logical network); the simulator generalizes this with
+//! stochastic delays, loss, and duplication for robustness experiments.
+
+use serde::{Deserialize, Serialize};
+use tokq_protocol::types::TimeDelta;
+
+use crate::rng::SimRng;
+
+/// Distribution of per-message network delay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DelayModel {
+    /// Every message takes exactly this long (the paper's `T_msg`).
+    Constant(TimeDelta),
+    /// Uniform in `[lo, hi)`.
+    Uniform {
+        /// Minimum delay.
+        lo: TimeDelta,
+        /// Maximum delay (exclusive).
+        hi: TimeDelta,
+    },
+    /// `base` plus an exponential tail with the given mean — a common
+    /// model of queueing jitter on top of propagation delay.
+    ExponentialTail {
+        /// Fixed propagation component.
+        base: TimeDelta,
+        /// Mean of the exponential jitter component.
+        mean_tail: TimeDelta,
+    },
+}
+
+impl DelayModel {
+    /// The paper's constant 0.1-unit message delay.
+    pub fn paper() -> Self {
+        DelayModel::Constant(TimeDelta::from_millis(100))
+    }
+
+    /// Samples one delay.
+    pub fn sample(&self, rng: &mut SimRng) -> TimeDelta {
+        match *self {
+            DelayModel::Constant(d) => d,
+            DelayModel::Uniform { lo, hi } => {
+                let l = lo.as_secs_f64();
+                let h = hi.as_secs_f64().max(l);
+                TimeDelta::from_secs_f64(rng.uniform(l, h))
+            }
+            DelayModel::ExponentialTail { base, mean_tail } => {
+                let mean = mean_tail.as_secs_f64();
+                let tail = if mean > 0.0 {
+                    rng.exponential(1.0 / mean)
+                } else {
+                    0.0
+                };
+                base.saturating_add(TimeDelta::from_secs_f64(tail))
+            }
+        }
+    }
+
+    /// The model's mean delay (useful for timeout heuristics).
+    pub fn mean(&self) -> TimeDelta {
+        match *self {
+            DelayModel::Constant(d) => d,
+            DelayModel::Uniform { lo, hi } => TimeDelta::from_secs_f64(
+                (lo.as_secs_f64() + hi.as_secs_f64()) / 2.0,
+            ),
+            DelayModel::ExponentialTail { base, mean_tail } => base.saturating_add(mean_tail),
+        }
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Unreliability parameters of the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Unreliability {
+    /// Probability an individual message is silently dropped.
+    pub loss: f64,
+    /// Probability a delivered message is delivered twice.
+    pub duplication: f64,
+}
+
+impl Unreliability {
+    /// A perfectly reliable network (the paper's fault-free evaluation).
+    pub fn reliable() -> Self {
+        Self::default()
+    }
+
+    /// A lossy network dropping each message with probability `loss`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is outside `[0, 1]`.
+    pub fn lossy(loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        Unreliability {
+            loss,
+            duplication: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_model_is_exact() {
+        let mut rng = SimRng::new(1);
+        let d = DelayModel::paper();
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), TimeDelta::from_millis(100));
+        }
+        assert_eq!(d.mean(), TimeDelta::from_millis(100));
+    }
+
+    #[test]
+    fn uniform_model_in_bounds() {
+        let mut rng = SimRng::new(2);
+        let d = DelayModel::Uniform {
+            lo: TimeDelta::from_millis(10),
+            hi: TimeDelta::from_millis(20),
+        };
+        for _ in 0..1_000 {
+            let s = d.sample(&mut rng);
+            assert!(s >= TimeDelta::from_millis(10) && s < TimeDelta::from_millis(20));
+        }
+        assert_eq!(d.mean(), TimeDelta::from_millis(15));
+    }
+
+    #[test]
+    fn exponential_tail_at_least_base() {
+        let mut rng = SimRng::new(3);
+        let d = DelayModel::ExponentialTail {
+            base: TimeDelta::from_millis(5),
+            mean_tail: TimeDelta::from_millis(10),
+        };
+        let mut sum = 0.0;
+        for _ in 0..50_000 {
+            let s = d.sample(&mut rng);
+            assert!(s >= TimeDelta::from_millis(5));
+            sum += s.as_secs_f64();
+        }
+        let mean = sum / 50_000.0;
+        assert!((mean - 0.015).abs() < 0.001, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_tail_degenerates_to_constant() {
+        let mut rng = SimRng::new(4);
+        let d = DelayModel::ExponentialTail {
+            base: TimeDelta::from_millis(7),
+            mean_tail: TimeDelta::ZERO,
+        };
+        assert_eq!(d.sample(&mut rng), TimeDelta::from_millis(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn lossy_validates() {
+        let _ = Unreliability::lossy(1.5);
+    }
+}

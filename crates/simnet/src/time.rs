@@ -1,0 +1,105 @@
+//! The simulator's virtual clock.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use tokq_protocol::types::TimeDelta;
+
+/// An absolute instant on the simulation clock, in nanoseconds since the
+/// start of the run.
+///
+/// # Examples
+///
+/// ```
+/// use tokq_simnet::time::SimTime;
+/// use tokq_protocol::types::TimeDelta;
+///
+/// let t = SimTime::ZERO + TimeDelta::from_millis(100);
+/// assert_eq!(t.as_secs_f64(), 0.1);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs an instant from nanoseconds since start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Constructs an instant from fractional seconds since start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "sim time must be finite and non-negative, got {secs}"
+        );
+        SimTime((secs * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds since the start of the run.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the start of the run.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    pub fn since(self, earlier: SimTime) -> TimeDelta {
+        debug_assert!(earlier <= self, "time went backwards");
+        TimeDelta::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl std::ops::Add<TimeDelta> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: TimeDelta) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.as_nanos()))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::from_secs_f64(1.0);
+        let b = a + TimeDelta::from_millis(500);
+        assert!(b > a);
+        assert_eq!(b.since(a), TimeDelta::from_millis(500));
+        assert_eq!(b.as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(SimTime::from_secs_f64(0.25).to_string(), "t=0.250000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_time_rejected() {
+        let _ = SimTime::from_secs_f64(-0.1);
+    }
+}

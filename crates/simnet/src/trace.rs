@@ -1,0 +1,162 @@
+//! Structured execution traces, used to reproduce the paper's Figure 2
+//! timeline and to debug protocol runs.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use tokq_protocol::types::NodeId;
+
+use crate::time::SimTime;
+
+/// One traced occurrence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// An application request arrived at the node.
+    Arrival,
+    /// The node transmitted a message.
+    Sent {
+        /// Destination.
+        to: NodeId,
+        /// Message kind label.
+        kind: String,
+    },
+    /// The node received a message.
+    Received {
+        /// Source.
+        from: NodeId,
+        /// Message kind label.
+        kind: String,
+    },
+    /// The node entered its critical section.
+    EnterCs,
+    /// The node exited its critical section.
+    ExitCs,
+    /// A protocol note.
+    Note(String),
+    /// The node crashed.
+    Crashed,
+    /// The node recovered.
+    Recovered,
+}
+
+/// A timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// The node it happened at.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:>4} ", self.at, self.node.to_string())?;
+        match &self.kind {
+            TraceKind::Arrival => write!(f, "request arrives"),
+            TraceKind::Sent { to, kind } => write!(f, "sends {kind} to {to}"),
+            TraceKind::Received { from, kind } => write!(f, "receives {kind} from {from}"),
+            TraceKind::EnterCs => write!(f, "ENTERS critical section"),
+            TraceKind::ExitCs => write!(f, "exits critical section"),
+            TraceKind::Note(s) => write!(f, "[{s}]"),
+            TraceKind::Crashed => write!(f, "CRASHES"),
+            TraceKind::Recovered => write!(f, "recovers"),
+        }
+    }
+}
+
+/// A bounded in-memory trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    enabled: bool,
+    cap: usize,
+    events: Vec<TraceEvent>,
+    truncated: bool,
+}
+
+impl Trace {
+    /// A trace that records up to `cap` events, or nothing when disabled.
+    pub fn new(enabled: bool, cap: usize) -> Self {
+        Trace {
+            enabled,
+            cap,
+            events: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    /// Records an event (no-op when disabled or full).
+    pub fn push(&mut self, at: SimTime, node: NodeId, kind: TraceKind) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.cap {
+            self.truncated = true;
+            return;
+        }
+        self.events.push(TraceEvent { at, node, kind });
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// True if events were discarded after hitting the cap.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Renders the trace as one line per event.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+        if self.truncated {
+            out.push_str("... (trace truncated)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(false, 10);
+        t.push(SimTime::ZERO, NodeId(0), TraceKind::Arrival);
+        assert!(t.events().is_empty());
+        assert!(!t.truncated());
+    }
+
+    #[test]
+    fn cap_truncates() {
+        let mut t = Trace::new(true, 2);
+        for i in 0..5 {
+            t.push(SimTime::from_nanos(i), NodeId(0), TraceKind::EnterCs);
+        }
+        assert_eq!(t.events().len(), 2);
+        assert!(t.truncated());
+        assert!(t.render().contains("truncated"));
+    }
+
+    #[test]
+    fn display_formats_read_naturally() {
+        let ev = TraceEvent {
+            at: SimTime::from_secs_f64(1.5),
+            node: NodeId(2),
+            kind: TraceKind::Sent {
+                to: NodeId(4),
+                kind: "PRIVILEGE".into(),
+            },
+        };
+        let s = ev.to_string();
+        assert!(s.contains("n2"), "{s}");
+        assert!(s.contains("sends PRIVILEGE to n4"), "{s}");
+    }
+}

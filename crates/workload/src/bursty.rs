@@ -1,0 +1,123 @@
+//! Bursty traffic: a two-state Markov-modulated Poisson process (MMPP).
+//!
+//! The paper evaluates only smooth Poisson traffic; the MMPP workload
+//! stresses the arbiter algorithm's adaptive behaviours (collection-window
+//! batching, the monitor's adaptive period) under load that alternates
+//! between hot bursts and quiet spells.
+
+use tokq_protocol::types::TimeDelta;
+use tokq_simnet::arrivals::{ArrivalProcess, Pacing};
+use tokq_simnet::rng::SimRng;
+
+/// Two-state MMPP: Poisson arrivals whose rate switches between `hi` and
+/// `lo` at exponentially-distributed state holding times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mmpp {
+    hi: f64,
+    lo: f64,
+    /// Rate of state switching (1 / mean holding time).
+    switch_rate: f64,
+    /// Time left in the current state, in seconds.
+    remaining: f64,
+    in_hi: bool,
+    initialized: bool,
+}
+
+impl Mmpp {
+    /// An MMPP alternating ON periods of rate `hi` and OFF periods of rate
+    /// `lo`, with mean state length `mean_period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi` or `lo` is not positive, or `mean_period` is zero.
+    pub fn new(hi: f64, lo: f64, mean_period: TimeDelta) -> Self {
+        assert!(hi > 0.0, "hi rate must be positive, got {hi}");
+        assert!(lo > 0.0, "lo rate must be positive, got {lo}");
+        assert!(!mean_period.is_zero(), "mean period must be non-zero");
+        Mmpp {
+            hi,
+            lo,
+            switch_rate: 1.0 / mean_period.as_secs_f64(),
+            remaining: 0.0,
+            in_hi: true,
+            initialized: false,
+        }
+    }
+
+    fn current_rate(&self) -> f64 {
+        if self.in_hi {
+            self.hi
+        } else {
+            self.lo
+        }
+    }
+}
+
+impl ArrivalProcess for Mmpp {
+    fn pacing(&self) -> Pacing {
+        Pacing::OpenLoop
+    }
+
+    fn next_delay(&mut self, rng: &mut SimRng) -> Option<TimeDelta> {
+        if !self.initialized {
+            self.initialized = true;
+            self.remaining = rng.exponential(self.switch_rate);
+        }
+        // Walk forward through state periods until an arrival falls inside
+        // the current one.
+        let mut offset = 0.0f64;
+        loop {
+            let gap = rng.exponential(self.current_rate());
+            if gap <= self.remaining {
+                self.remaining -= gap;
+                return Some(TimeDelta::from_secs_f64(offset + gap));
+            }
+            offset += self.remaining;
+            self.in_hi = !self.in_hi;
+            self.remaining = rng.exponential(self.switch_rate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_run_rate_between_states() {
+        let mut m = Mmpp::new(50.0, 0.5, TimeDelta::from_secs(2));
+        let mut rng = SimRng::new(1);
+        let n = 50_000;
+        let total: f64 = (0..n)
+            .map(|_| m.next_delay(&mut rng).unwrap().as_secs_f64())
+            .sum();
+        let rate = n as f64 / total;
+        // With equal mean holding times the long-run rate is the harmonic
+        // blend weighted by time: (hi + lo) / 2 in arrivals-per-state terms
+        // it lies strictly between the two rates and well away from both.
+        assert!(rate > 1.0 && rate < 50.0, "long-run rate {rate}");
+    }
+
+    #[test]
+    fn bursts_are_visible() {
+        // With a huge rate gap, consecutive gaps should cluster: many tiny
+        // gaps (ON) and occasional huge ones (OFF).
+        let mut m = Mmpp::new(1000.0, 0.1, TimeDelta::from_secs(1));
+        let mut rng = SimRng::new(2);
+        let gaps: Vec<f64> = (0..30_000)
+            .map(|_| m.next_delay(&mut rng).unwrap().as_secs_f64())
+            .collect();
+        let tiny = gaps.iter().filter(|g| **g < 0.01).count();
+        // Each OFF period yields roughly one long gap, so with ~30 ON/OFF
+        // alternations expect a handful (not a precise count).
+        let huge = gaps.iter().filter(|g| **g > 0.5).count();
+        assert!(tiny > 15_000, "expected many burst arrivals, got {tiny}");
+        assert!(huge >= 5, "expected some quiet-period gaps, got {huge}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lo rate must be positive")]
+    fn validates_rates() {
+        let _ = Mmpp::new(1.0, 0.0, TimeDelta::from_secs(1));
+    }
+}

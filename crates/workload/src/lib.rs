@@ -1,0 +1,229 @@
+//! Workload generators and load sweeps for mutual exclusion experiments.
+//!
+//! The paper's evaluation (§3.3) drives every node with an independent
+//! Poisson stream of rate λ; [`Workload::poisson`] reproduces that. The
+//! crate adds the generators needed by the extended experiments: exact
+//! saturation ([`Workload::saturating`]), bursty two-state MMPP traffic
+//! ([`Workload::bursty`]), hot/cold node mixes ([`Workload::hotspot`]),
+//! and the scripted Figure 2 walkthrough ([`fig2_script`]).
+//!
+//! # Example
+//!
+//! ```
+//! use tokq_protocol::arbiter::ArbiterConfig;
+//! use tokq_simnet::{SimConfig, Simulation};
+//! use tokq_workload::Workload;
+//!
+//! let report = Simulation::build(
+//!     SimConfig::paper_defaults(5),
+//!     ArbiterConfig::basic(),
+//!     Workload::poisson(1.0),
+//! )
+//! .run_until_cs(200);
+//! assert!(report.cs_measured >= 200);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod bursty;
+pub mod sweep;
+
+use tokq_protocol::types::TimeDelta;
+use tokq_simnet::arrivals::{
+    ArrivalProcess, ClosedLoop, DynWorkload, Poisson, Scripted, WorkloadSpec,
+};
+
+pub use bursty::Mmpp;
+pub use sweep::{LoadSweep, SweepPoint};
+
+/// A ready-made homogeneous or structured workload.
+///
+/// Wraps the simulator's [`WorkloadSpec`] machinery behind descriptive
+/// constructors so experiments read like the paper's setup.
+#[derive(Debug)]
+pub struct Workload {
+    inner: DynWorkload,
+}
+
+impl Workload {
+    /// Independent Poisson arrivals of `rate` requests/second at every node
+    /// — the paper's workload model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn poisson(rate: f64) -> Self {
+        assert!(rate > 0.0, "Poisson rate must be positive, got {rate}");
+        Workload {
+            inner: DynWorkload::new(move |_, _| Box::new(Poisson::new(rate))),
+        }
+    }
+
+    /// Exact saturation: every node keeps one request outstanding at all
+    /// times (the paper's "heavy load" regime, Eqs. 4–6).
+    pub fn saturating() -> Self {
+        Workload {
+            inner: DynWorkload::new(|_, _| Box::new(ClosedLoop::saturating())),
+        }
+    }
+
+    /// Closed-loop traffic with a fixed think time between completions.
+    pub fn closed_loop(think: TimeDelta) -> Self {
+        Workload {
+            inner: DynWorkload::new(move |_, _| Box::new(ClosedLoop { think })),
+        }
+    }
+
+    /// Bursty two-state MMPP traffic: alternates exponentially-distributed
+    /// ON (rate `hi`) and OFF (rate `lo`) periods of the given mean length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is non-positive (see [`Mmpp::new`]).
+    pub fn bursty(hi: f64, lo: f64, mean_period: TimeDelta) -> Self {
+        // Validate eagerly so misconfiguration fails at construction.
+        let _probe = Mmpp::new(hi, lo, mean_period);
+        Workload {
+            inner: DynWorkload::new(move |_, _| Box::new(Mmpp::new(hi, lo, mean_period))),
+        }
+    }
+
+    /// A hotspot mix: the first `hot_nodes` nodes generate Poisson traffic
+    /// at `hot_rate`, the rest at `cold_rate`. Exercises the paper's §5.1
+    /// load-balancing claim (only requesters shoulder arbiter duty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is not positive.
+    pub fn hotspot(hot_nodes: usize, hot_rate: f64, cold_rate: f64) -> Self {
+        assert!(hot_rate > 0.0, "hot rate must be positive");
+        assert!(cold_rate > 0.0, "cold rate must be positive");
+        Workload {
+            inner: DynWorkload::new(move |node, _| {
+                if node < hot_nodes {
+                    Box::new(Poisson::new(hot_rate))
+                } else {
+                    Box::new(Poisson::new(cold_rate))
+                }
+            }),
+        }
+    }
+
+    /// Only the listed nodes generate traffic (Poisson at `rate`); the
+    /// rest stay silent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn only_nodes(nodes: Vec<usize>, rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        Workload {
+            inner: DynWorkload::new(move |node, _| {
+                if nodes.contains(&node) {
+                    Box::new(Poisson::new(rate))
+                } else {
+                    Box::new(Scripted::silent())
+                }
+            }),
+        }
+    }
+
+    /// A fully custom per-node builder.
+    pub fn custom<F>(builder: F) -> Self
+    where
+        F: Fn(usize, usize) -> Box<dyn ArrivalProcess> + Send + Sync + 'static,
+    {
+        Workload {
+            inner: DynWorkload::new(builder),
+        }
+    }
+}
+
+impl WorkloadSpec for Workload {
+    type Process = Box<dyn ArrivalProcess>;
+    fn build(&self, node: usize, n: usize) -> Box<dyn ArrivalProcess> {
+        self.inner.build(node, n)
+    }
+}
+
+/// The scripted workload of the paper's §2.2 illustrative example
+/// (Figure 2): five nodes; nodes 2, 4 and 5 (ids 1, 3, 4 here) request
+/// around t=0, and node 3 (id 2) requests a little later.
+///
+/// Request times are chosen so that, with all protocol durations equal to
+/// 0.1 units, the requests from nodes 2 and 5 arrive during node 1's
+/// collection phase, node 4's arrives during its forwarding phase, and
+/// node 3's arrives at the next arbiter — exactly the §2.2 narrative.
+pub fn fig2_script() -> Workload {
+    Workload::custom(|node, _| {
+        let at = |secs: f64| Scripted::open_loop([TimeDelta::from_secs_f64(secs)]);
+        match node {
+            // Node ids are 0-based: paper's node 2 is id 1, etc.
+            1 => Box::new(at(0.01)), // REQUEST(2): lands in collection
+            4 => Box::new(at(0.05)), // REQUEST(5): lands in collection
+            3 => Box::new(at(0.17)), // REQUEST(4): lands in forwarding
+            2 => Box::new(at(0.40)), // REQUEST(3): lands at arbiter 5
+            _ => Box::new(Scripted::silent()),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokq_simnet::rng::SimRng;
+
+    #[test]
+    fn poisson_builds_per_node_streams() {
+        let w = Workload::poisson(2.0);
+        let mut rng = SimRng::new(1);
+        let mut p = w.build(3, 10);
+        assert!(p.next_delay(&mut rng).is_some());
+    }
+
+    #[test]
+    fn hotspot_rates_differ() {
+        let w = Workload::hotspot(1, 100.0, 0.001);
+        let mut rng = SimRng::new(2);
+        let mut hot = w.build(0, 4);
+        let mut cold = w.build(3, 4);
+        let h: f64 = (0..200)
+            .map(|_| hot.next_delay(&mut rng).unwrap().as_secs_f64())
+            .sum();
+        let c: f64 = (0..200)
+            .map(|_| cold.next_delay(&mut rng).unwrap().as_secs_f64())
+            .sum();
+        assert!(h < c, "hot node must arrive much faster");
+    }
+
+    #[test]
+    fn only_nodes_silences_the_rest() {
+        let w = Workload::only_nodes(vec![0], 1.0);
+        let mut rng = SimRng::new(3);
+        assert!(w.build(0, 3).next_delay(&mut rng).is_some());
+        assert!(w.build(1, 3).next_delay(&mut rng).is_none());
+    }
+
+    #[test]
+    fn fig2_script_only_four_requesters() {
+        let w = fig2_script();
+        let mut rng = SimRng::new(4);
+        let mut count = 0;
+        for node in 0..5 {
+            let mut p = w.build(node, 5);
+            if p.next_delay(&mut rng).is_some() {
+                count += 1;
+                assert!(p.next_delay(&mut rng).is_none(), "single-shot streams");
+            }
+        }
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn poisson_validates() {
+        let _ = Workload::poisson(-1.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Load sweeps: the x-axes of the paper's Figures 3–6.
+
+use serde::{Deserialize, Serialize};
+
+/// One x-axis point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Per-node Poisson arrival rate λ (requests/second).
+    pub lambda: f64,
+}
+
+/// A set of arrival rates to sweep, mirroring the paper's log-ish spread
+/// from deep light load to past saturation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadSweep {
+    points: Vec<SweepPoint>,
+}
+
+impl LoadSweep {
+    /// The default sweep used for Figures 3–6: λ from 0.05 to 10
+    /// requests/second/node on a roughly geometric grid. With 10 nodes and
+    /// 0.1 s critical sections, saturation sits near λ ≈ 0.5, so the grid
+    /// covers two decades of light load and one past saturation.
+    pub fn paper() -> Self {
+        LoadSweep {
+            points: [
+                0.05, 0.08, 0.125, 0.2, 0.3, 0.45, 0.65, 1.0, 1.5, 2.5, 4.0, 6.5, 10.0,
+            ]
+            .iter()
+            .map(|&lambda| SweepPoint { lambda })
+            .collect(),
+        }
+    }
+
+    /// A short three-point sweep (light / knee / heavy) for quick runs and
+    /// tests.
+    pub fn coarse() -> Self {
+        LoadSweep {
+            points: [0.05, 0.5, 5.0]
+                .iter()
+                .map(|&lambda| SweepPoint { lambda })
+                .collect(),
+        }
+    }
+
+    /// A custom sweep over the given rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is empty or contains a non-positive rate.
+    pub fn custom(rates: &[f64]) -> Self {
+        assert!(!rates.is_empty(), "sweep needs at least one point");
+        assert!(
+            rates.iter().all(|r| *r > 0.0),
+            "sweep rates must be positive"
+        );
+        LoadSweep {
+            points: rates.iter().map(|&lambda| SweepPoint { lambda }).collect(),
+        }
+    }
+
+    /// The sweep points in order.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the sweep is empty (never for built-in constructors).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a LoadSweep {
+    type Item = &'a SweepPoint;
+    type IntoIter = std::slice::Iter<'a, SweepPoint>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sweep_is_increasing_and_spans_saturation() {
+        let s = LoadSweep::paper();
+        assert!(s.len() >= 10);
+        let ps = s.points();
+        for w in ps.windows(2) {
+            assert!(w[0].lambda < w[1].lambda, "sweep must be increasing");
+        }
+        assert!(ps.first().unwrap().lambda <= 0.05);
+        assert!(ps.last().unwrap().lambda >= 10.0);
+    }
+
+    #[test]
+    fn custom_sweep_roundtrips() {
+        let s = LoadSweep::custom(&[1.0, 2.0]);
+        let rates: Vec<f64> = (&s).into_iter().map(|p| p.lambda).collect();
+        assert_eq!(rates, vec![1.0, 2.0]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn custom_rejects_nonpositive() {
+        let _ = LoadSweep::custom(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Fault tolerance on the threaded runtime: crash a node mid-run (possibly
+//! while it holds the token) and watch the cluster recover and keep
+//! granting the lock.
+//!
+//! Run with: `cargo run --release --example fault_tolerance`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tokq::core::{Cluster, NetOptions};
+use tokq::protocol::arbiter::{ArbiterConfig, RecoveryConfig};
+use tokq::protocol::types::TimeDelta;
+
+fn main() {
+    // Aggressive recovery timeouts so the demo converges quickly.
+    let recovery = RecoveryConfig {
+        token_wait_base: TimeDelta::from_millis(80),
+        token_wait_per_position: TimeDelta::from_millis(20),
+        enquiry_timeout: TimeDelta::from_millis(40),
+        handover_watch: TimeDelta::from_millis(150),
+        probe_timeout: TimeDelta::from_millis(40),
+    };
+    let config = ArbiterConfig {
+        recovery: Some(recovery),
+        ..ArbiterConfig::basic()
+            .with_t_collect(TimeDelta::from_millis(2))
+            .with_t_forward(TimeDelta::from_millis(2))
+    };
+    let cluster = Arc::new(
+        Cluster::builder(5)
+            .config(config)
+            .net(NetOptions::delayed(
+                Duration::from_micros(500),
+                Duration::from_micros(100),
+            ))
+            .build(),
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let granted = Arc::new(AtomicU64::new(0));
+    let mut workers = Vec::new();
+    // Nodes 1..5 hammer the lock; node 0 is the crash victim.
+    for node in 1..cluster.len() {
+        let handle = cluster.handle(node);
+        let stop = Arc::clone(&stop);
+        let granted = Arc::clone(&granted);
+        workers.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if let Some(guard) = handle.try_lock_for(Duration::from_secs(5)) {
+                    granted.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_micros(200));
+                    drop(guard);
+                }
+            }
+        }));
+    }
+
+    std::thread::sleep(Duration::from_millis(300));
+    let before = granted.load(Ordering::Relaxed);
+    println!("grants before crash: {before}");
+
+    println!("crashing node 0 (the initial arbiter / token holder)...");
+    cluster.crash(0);
+    std::thread::sleep(Duration::from_millis(700));
+    let during = granted.load(Ordering::Relaxed);
+    println!("grants while node 0 is down: {}", during - before);
+
+    println!("recovering node 0...");
+    cluster.recover(0);
+    std::thread::sleep(Duration::from_millis(300));
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+
+    let after = granted.load(Ordering::Relaxed);
+    println!("total grants: {after}");
+    let m = cluster.metrics();
+    println!(
+        "token regenerations: {}   invalidations: {}   arbiter takeovers: {}",
+        m.notes().get("token_regenerated").copied().unwrap_or(0),
+        m.notes().get("invalidation_started").copied().unwrap_or(0),
+        m.notes().get("arbiter_takeover").copied().unwrap_or(0),
+    );
+    assert!(
+        during > before,
+        "the cluster must keep granting after the crash"
+    );
+    match Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => unreachable!("workers joined"),
+    }
+}

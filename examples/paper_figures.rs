@@ -1,0 +1,39 @@
+//! Reproduce the paper's headline result in miniature: the average number
+//! of messages per critical section falls from ≈N at light load to ≈3 at
+//! heavy load (Figures 3/6, Eqs. 1–5).
+//!
+//! Run with: `cargo run --release --example paper_figures`
+
+use tokq::analysis::formulas;
+use tokq::analysis::report::Table;
+use tokq::protocol::arbiter::ArbiterConfig;
+use tokq::simnet::{SimConfig, Simulation};
+use tokq::workload::Workload;
+
+fn main() {
+    let n = 10;
+    let mut table = Table::new(
+        "messages per critical section vs load (N=10, paper parameters)",
+        &["lambda_req_per_s", "measured", "eq1_light_bound", "eq4_heavy_bound"],
+    );
+    for lambda in [0.05, 0.2, 0.5, 1.0, 3.0, 10.0] {
+        let report = Simulation::build(
+            SimConfig::paper_defaults(n),
+            ArbiterConfig::basic(),
+            Workload::poisson(lambda),
+        )
+        .run_until_cs(10_000);
+        table.row(vec![
+            lambda.into(),
+            report.messages_per_cs().into(),
+            formulas::arbiter_messages_light(n).into(),
+            formulas::arbiter_messages_heavy(n).into(),
+        ]);
+    }
+    println!("{}", table.to_ascii());
+    println!(
+        "The measured column should slide from ≈{:.1} down to ≈{:.1} as load rises.",
+        formulas::arbiter_messages_light(n),
+        formulas::arbiter_messages_heavy(n)
+    );
+}

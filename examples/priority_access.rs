@@ -1,0 +1,45 @@
+//! Prioritized access (paper §5.2): arbiter-ordered priorities are
+//! *incremental* — applied at each seal — and low-priority nodes gravitate
+//! toward the tail, which makes them arbiters and prevents starvation.
+//!
+//! Run with: `cargo run --release --example priority_access`
+
+use tokq::analysis::report::Table;
+use tokq::protocol::arbiter::{ArbiterConfig, Fairness};
+use tokq::protocol::types::Priority;
+use tokq::simnet::{SimConfig, Simulation};
+use tokq::workload::Workload;
+
+fn main() {
+    let n = 6;
+    // Node i gets priority i: node 5 is the most important.
+    let cfg = ArbiterConfig {
+        fairness: Fairness::Priority,
+        priorities: (0..n as u32).map(Priority).collect(),
+        ..ArbiterConfig::basic()
+    };
+    let report = Simulation::build(
+        SimConfig::paper_defaults(n),
+        cfg,
+        Workload::saturating(),
+    )
+    .run_until_cs(30_000);
+
+    let mut table = Table::new(
+        "prioritized access under saturation (N=6, priority = node id)",
+        &["node", "priority", "critical_sections"],
+    );
+    for (i, &count) in report.per_node_cs.iter().enumerate() {
+        table.row(vec![i.into(), i.into(), count.into()]);
+    }
+    println!("{}", table.to_ascii());
+    println!(
+        "Even the lowest-priority node keeps making progress (no starvation):\n\
+         every node completed at least {} critical sections.",
+        report.per_node_cs.iter().min().unwrap()
+    );
+    assert!(
+        report.per_node_cs.iter().all(|&c| c > 0),
+        "§5.2: static priorities must not starve low-priority nodes"
+    );
+}

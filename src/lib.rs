@@ -1,0 +1,42 @@
+//! # tokq — rotating-arbiter token-passing distributed mutual exclusion
+//!
+//! A full reproduction of *"A New Token Passing Distributed Mutual
+//! Exclusion Algorithm"* (Banerjee & Chrysanthis, ICDCS 1996), packaged as
+//! a facade over the workspace crates:
+//!
+//! * [`protocol`] — sans-io state machines: the arbiter algorithm (basic,
+//!   starvation-free, fault-tolerant) and the baselines it is evaluated
+//!   against (Ricart–Agrawala, Suzuki–Kasami, Raymond, Singhal,
+//!   centralized).
+//! * [`simnet`] — deterministic discrete-event network simulator used to
+//!   regenerate the paper's figures.
+//! * [`core`] — threaded runtime: a real distributed lock with RAII guards
+//!   over an in-process transport.
+//! * [`workload`] — Poisson/bursty/closed-loop workload generators.
+//! * [`analysis`] — the paper's analytic formulas (Eqs. 1–7), statistics,
+//!   and report formatting.
+//!
+//! # Quickstart
+//!
+//! Simulate 10 nodes under Poisson load and read off the paper's headline
+//! metric (≈ 3 messages per critical section at heavy load):
+//!
+//! ```
+//! use tokq::protocol::arbiter::ArbiterConfig;
+//! use tokq::simnet::{SimConfig, Simulation};
+//! use tokq::workload::Workload;
+//!
+//! let report = Simulation::build(
+//!     SimConfig::paper_defaults(10),
+//!     ArbiterConfig::basic(),
+//!     Workload::poisson(5.0),
+//! )
+//! .run_until_cs(2_000);
+//! assert!(report.messages_per_cs() < 3.5);
+//! ```
+
+pub use tokq_analysis as analysis;
+pub use tokq_core as core;
+pub use tokq_protocol as protocol;
+pub use tokq_simnet as simnet;
+pub use tokq_workload as workload;

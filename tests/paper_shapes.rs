@@ -1,0 +1,236 @@
+//! Quantitative shape checks against the paper's analysis (§3).
+//!
+//! These are the quality gates from DESIGN.md §7: the simulation must land
+//! on the closed-form predictions at the load extremes and preserve every
+//! qualitative comparison the paper makes.
+
+use tokq::analysis::formulas;
+use tokq::protocol::arbiter::ArbiterConfig;
+use tokq::protocol::types::TimeDelta;
+use tokq::simnet::SimConfig;
+use tokq::workload::Workload;
+use tokq_bench::Algo;
+
+fn sim(n: usize, seed: u64) -> SimConfig {
+    let mut c = SimConfig::paper_defaults(n).with_seed(seed);
+    c.warmup_cs = 300;
+    c
+}
+
+#[test]
+fn heavy_load_messages_match_eq4() {
+    // Eq. 4: M̄ = 3 − 2/N at saturation.
+    for n in [5usize, 10, 20] {
+        let r = Algo::Arbiter(ArbiterConfig::basic()).run(
+            sim(n, 21),
+            Workload::saturating(),
+            8_000,
+        );
+        let predicted = formulas::arbiter_messages_heavy(n);
+        let measured = r.messages_per_cs();
+        let err = (measured - predicted).abs() / predicted;
+        assert!(
+            err < 0.05,
+            "N={n}: heavy-load messages {measured:.3} vs Eq.4 {predicted:.3} (err {err:.3})"
+        );
+    }
+}
+
+#[test]
+fn light_load_messages_match_eq1() {
+    // Eq. 1: M̄ = (N² − 1)/N ≈ N at very light load. Allow 10% — the
+    // broadcast-counting optimization differs by ±1 message (DESIGN.md).
+    for n in [5usize, 10] {
+        let r = Algo::Arbiter(ArbiterConfig::basic()).run(
+            sim(n, 22),
+            Workload::poisson(0.01),
+            3_000,
+        );
+        let predicted = formulas::arbiter_messages_light(n);
+        let measured = r.messages_per_cs();
+        let err = (measured - predicted).abs() / predicted;
+        assert!(
+            err < 0.10,
+            "N={n}: light-load messages {measured:.3} vs Eq.1 {predicted:.3} (err {err:.3})"
+        );
+    }
+}
+
+#[test]
+fn heavy_load_delay_tracks_eq6_scaling() {
+    // Eq. 6 predicts delay growing linearly with N at saturation.
+    let d10 = Algo::Arbiter(ArbiterConfig::basic())
+        .run(sim(10, 23), Workload::saturating(), 5_000)
+        .mean_delay();
+    let d20 = Algo::Arbiter(ArbiterConfig::basic())
+        .run(sim(20, 24), Workload::saturating(), 5_000)
+        .mean_delay();
+    let ratio = d20 / d10;
+    assert!(
+        (1.6..=2.4).contains(&ratio),
+        "saturated delay should roughly double from N=10 to N=20, got ratio {ratio:.2}"
+    );
+}
+
+#[test]
+fn arbiter_beats_ricart_agrawala_at_every_load() {
+    // The paper: "the scheme proposed here performs better than the
+    // Ricart-Agrawala algorithm at all loads".
+    for (i, lambda) in [0.05, 0.3, 1.0, 5.0].iter().enumerate() {
+        let arb = Algo::Arbiter(ArbiterConfig::basic()).run(
+            sim(10, 30 + i as u64),
+            Workload::poisson(*lambda),
+            4_000,
+        );
+        let ra = Algo::RicartAgrawala.run(
+            sim(10, 40 + i as u64),
+            Workload::poisson(*lambda),
+            4_000,
+        );
+        assert!(
+            arb.messages_per_cs() < ra.messages_per_cs(),
+            "λ={lambda}: arbiter {:.2} ≥ RA {:.2}",
+            arb.messages_per_cs(),
+            ra.messages_per_cs()
+        );
+    }
+}
+
+#[test]
+fn ricart_agrawala_costs_exactly_2n_minus_2() {
+    let r = Algo::RicartAgrawala.run(sim(10, 50), Workload::poisson(0.5), 4_000);
+    let m = r.messages_per_cs();
+    // Warmup-boundary accounting leaves a handful of in-flight messages on
+    // either side of the measurement window, so allow a whisker.
+    assert!(
+        (m - 18.0).abs() < 0.05,
+        "RA must cost 2(N−1) = 18 messages, got {m:.3}"
+    );
+}
+
+#[test]
+fn arbiter_beats_raymond_at_heavy_load() {
+    // The paper's headline: better than Raymond's ≈4 at high loads.
+    let arb = Algo::Arbiter(ArbiterConfig::basic()).run(
+        sim(10, 51),
+        Workload::saturating(),
+        6_000,
+    );
+    let ray = Algo::Raymond.run(sim(10, 52), Workload::saturating(), 6_000);
+    assert!(
+        arb.messages_per_cs() < ray.messages_per_cs(),
+        "arbiter {:.2} ≥ raymond {:.2}",
+        arb.messages_per_cs(),
+        ray.messages_per_cs()
+    );
+    assert!(
+        arb.messages_per_cs() < 3.0,
+        "arbiter must be below 3 messages at saturation (got {:.2})",
+        arb.messages_per_cs()
+    );
+}
+
+#[test]
+fn suzuki_kasami_costs_about_n_at_heavy_load() {
+    let sk = Algo::SuzukiKasami.run(sim(10, 53), Workload::saturating(), 6_000);
+    let m = sk.messages_per_cs();
+    assert!(
+        (8.0..=10.5).contains(&m),
+        "SK should cost ≈ N−1..N messages at saturation, got {m:.2}"
+    );
+}
+
+#[test]
+fn longer_collection_phase_trades_messages_for_delay() {
+    // Paper §3.3: "with a longer request collection phase, the average
+    // number of messages incurred is lower, but the average delay per
+    // critical section is higher" — most visible at moderate load.
+    let short = Algo::Arbiter(
+        ArbiterConfig::basic().with_t_collect(TimeDelta::from_millis(100)),
+    )
+    .run(sim(10, 54), Workload::poisson(0.3), 6_000);
+    let long = Algo::Arbiter(
+        ArbiterConfig::basic().with_t_collect(TimeDelta::from_millis(400)),
+    )
+    .run(sim(10, 54), Workload::poisson(0.3), 6_000);
+    assert!(
+        long.messages_per_cs() < short.messages_per_cs(),
+        "longer T_req must batch more: {:.3} vs {:.3}",
+        long.messages_per_cs(),
+        short.messages_per_cs()
+    );
+    assert!(
+        long.mean_delay() > short.mean_delay(),
+        "longer T_req must add delay: {:.3} vs {:.3}",
+        long.mean_delay(),
+        short.mean_delay()
+    );
+}
+
+#[test]
+fn forwarded_fraction_vanishes_at_heavy_load() {
+    // Paper Figure 5: "At very high loads, the fraction of forwarded
+    // messages becomes negligible."
+    let light = Algo::Arbiter(ArbiterConfig::basic()).run(
+        sim(10, 55),
+        Workload::poisson(0.05),
+        3_000,
+    );
+    let heavy = Algo::Arbiter(ArbiterConfig::basic()).run(
+        sim(10, 56),
+        Workload::saturating(),
+        6_000,
+    );
+    assert!(
+        light.forwarded_fraction() > heavy.forwarded_fraction(),
+        "forwarding must shrink with load: light {:.4} vs heavy {:.4}",
+        light.forwarded_fraction(),
+        heavy.forwarded_fraction()
+    );
+    assert!(
+        heavy.forwarded_fraction() < 0.005,
+        "heavy-load forwarding must be negligible, got {:.4}",
+        heavy.forwarded_fraction()
+    );
+    // Paper §4: "only a maximum of 4% of messages were forwarded".
+    assert!(
+        light.forwarded_fraction() < 0.06,
+        "light-load forwarding should stay in the paper's few-percent range, got {:.4}",
+        light.forwarded_fraction()
+    );
+}
+
+#[test]
+fn fairness_is_fcfs_uniform() {
+    let r = Algo::Arbiter(ArbiterConfig::basic()).run(
+        sim(10, 57),
+        Workload::poisson(1.0),
+        10_000,
+    );
+    assert!(
+        r.jain_fairness() > 0.98,
+        "uniform load must be served evenly, Jain index {:.4}",
+        r.jain_fairness()
+    );
+}
+
+#[test]
+fn light_load_delay_matches_eq3_floor() {
+    // Eq. 3 with paper parameters and N=10: 0.38 s. Forward-phase drops
+    // add a small tail, so check the floor and a generous ceiling.
+    let r = Algo::Arbiter(ArbiterConfig::basic()).run(
+        sim(10, 58),
+        Workload::poisson(0.01),
+        3_000,
+    );
+    let predicted = formulas::arbiter_delay_light(10, formulas::ModelParams::paper());
+    let measured = r.mean_delay();
+    assert!(
+        measured >= predicted * 0.95,
+        "measured delay {measured:.3} below the analytic floor {predicted:.3}?"
+    );
+    assert!(
+        measured <= predicted * 2.5,
+        "light-load delay {measured:.3} far above Eq.3 {predicted:.3}"
+    );
+}

@@ -1,0 +1,349 @@
+//! Property-based tests over the core data structures and whole-system
+//! behaviour.
+
+use proptest::prelude::*;
+use tokq::protocol::arbiter::{ArbiterConfig, RecoveryConfig};
+use tokq::protocol::qlist::{Entry, QList};
+use tokq::protocol::types::{NodeId, Priority, SeqNum, TimeDelta};
+use tokq::simnet::{DelayModel, SimConfig, Simulation, Unreliability};
+use tokq::workload::Workload;
+use tokq_bench::Algo;
+
+// ---------------------------------------------------------------------
+// Q-list: model-based testing against a plain Vec.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum QOp {
+    PushBack(u32, u64),
+    PushFront(u32, u64),
+    PopHead,
+    Remove(u32),
+}
+
+fn qop_strategy() -> impl Strategy<Value = QOp> {
+    prop_oneof![
+        (0u32..20, 1u64..50).prop_map(|(n, s)| QOp::PushBack(n, s)),
+        (0u32..20, 1u64..50).prop_map(|(n, s)| QOp::PushFront(n, s)),
+        Just(QOp::PopHead),
+        (0u32..20).prop_map(QOp::Remove),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn qlist_matches_vec_model(ops in proptest::collection::vec(qop_strategy(), 0..120)) {
+        let mut q = QList::new();
+        let mut model: Vec<(u32, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                QOp::PushBack(n, s) => {
+                    let added = q.push_back(Entry::new(NodeId(n), SeqNum(s)));
+                    let model_has = model.iter().any(|(m, _)| *m == n);
+                    prop_assert_eq!(added, !model_has);
+                    if !model_has {
+                        model.push((n, s));
+                    }
+                }
+                QOp::PushFront(n, s) => {
+                    let added = q.push_front(Entry::new(NodeId(n), SeqNum(s)));
+                    let model_has = model.iter().any(|(m, _)| *m == n);
+                    prop_assert_eq!(added, !model_has);
+                    if !model_has {
+                        model.insert(0, (n, s));
+                    }
+                }
+                QOp::PopHead => {
+                    let got = q.pop_head().map(|e| (e.node.0, e.seq.0));
+                    let want = if model.is_empty() { None } else { Some(model.remove(0)) };
+                    prop_assert_eq!(got, want);
+                }
+                QOp::Remove(n) => {
+                    let got = q.remove(NodeId(n));
+                    let before = model.len();
+                    model.retain(|(m, _)| *m != n);
+                    prop_assert_eq!(got, before - model.len());
+                }
+            }
+            prop_assert!(q.invariant_holds());
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.head().map(|n| n.0), model.first().map(|(n, _)| *n));
+            prop_assert_eq!(q.tail().map(|n| n.0), model.last().map(|(n, _)| *n));
+        }
+    }
+
+    #[test]
+    fn qlist_priority_sort_is_a_permutation(
+        entries in proptest::collection::vec((0u32..64, 0u32..8), 0..40)
+    ) {
+        let mut q = QList::new();
+        for (n, p) in &entries {
+            q.push_back(Entry::with_priority(NodeId(*n), SeqNum(1), Priority(*p)));
+        }
+        let before: Vec<u32> = q.nodes().map(|n| n.0).collect();
+        q.sort_by_priority();
+        let mut after: Vec<u32> = q.nodes().map(|n| n.0).collect();
+        prop_assert!(q.invariant_holds());
+        // Same multiset of nodes.
+        let mut b = before.clone();
+        b.sort_unstable();
+        after.sort_unstable();
+        prop_assert_eq!(b, after);
+        // Priorities descending.
+        let ps: Vec<u32> = q.iter().map(|e| e.priority.0).collect();
+        prop_assert!(ps.windows(2).all(|w| w[0] >= w[1]));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-system properties: every seed is a fresh adversarial schedule.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The arbiter algorithm stays safe (checked online by the simulator)
+    /// and live for arbitrary seeds, loads, and system sizes.
+    #[test]
+    fn arbiter_safe_live_any_seed(
+        seed in any::<u64>(),
+        n in 2usize..12,
+        lambda in 0.05f64..5.0,
+    ) {
+        let mut cfg = SimConfig::paper_defaults(n).with_seed(seed);
+        cfg.warmup_cs = 20;
+        let r = Simulation::build(cfg, ArbiterConfig::basic(), Workload::poisson(lambda))
+            .run_until_cs(300);
+        prop_assert!(r.cs_measured >= 300);
+    }
+
+    /// Random delay distributions reorder messages arbitrarily; safety and
+    /// liveness must be untouched.
+    #[test]
+    fn arbiter_safe_under_random_jitter(
+        seed in any::<u64>(),
+        lo_ms in 1u64..50,
+        spread_ms in 1u64..200,
+    ) {
+        let mut cfg = SimConfig::paper_defaults(6).with_seed(seed);
+        cfg.warmup_cs = 20;
+        cfg.delay = DelayModel::Uniform {
+            lo: TimeDelta::from_millis(lo_ms),
+            hi: TimeDelta::from_millis(lo_ms + spread_ms),
+        };
+        let r = Simulation::build(cfg, ArbiterConfig::basic(), Workload::poisson(1.0))
+            .run_until_cs(250);
+        prop_assert!(r.cs_measured >= 250);
+    }
+
+    /// With recovery enabled, random (mild) message loss never wedges the
+    /// system.
+    #[test]
+    fn fault_tolerant_survives_random_loss(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.05,
+    ) {
+        let cfg_proto = ArbiterConfig {
+            recovery: Some(RecoveryConfig::default()),
+            ..ArbiterConfig::basic()
+        };
+        let mut cfg = SimConfig::paper_defaults(6).with_seed(seed);
+        cfg.warmup_cs = 10;
+        cfg.unreliability = Unreliability::lossy(loss);
+        cfg.max_sim_time = Some(tokq::simnet::SimTime::from_secs_f64(1_000_000.0));
+        let r = Simulation::build(cfg, cfg_proto, Workload::poisson(0.8))
+            .run_until_cs(200);
+        prop_assert!(r.cs_measured >= 200, "stalled at {} CS", r.cs_measured);
+    }
+
+    /// The baselines stay safe and live across random seeds too.
+    #[test]
+    fn baselines_safe_live_any_seed(seed in any::<u64>(), pick in 0usize..4) {
+        let algo = match pick {
+            0 => Algo::RicartAgrawala,
+            1 => Algo::Singhal,
+            2 => Algo::SuzukiKasami,
+            _ => Algo::Raymond,
+        };
+        let mut cfg = SimConfig::paper_defaults(5).with_seed(seed);
+        cfg.warmup_cs = 10;
+        let r = algo.run(cfg, Workload::poisson(1.0), 200);
+        prop_assert!(r.cs_measured >= 200, "{} stalled", algo.name());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire codec: random messages roundtrip, random bytes never panic.
+// ---------------------------------------------------------------------
+
+fn entry_strategy() -> impl Strategy<Value = Entry> {
+    (0u32..32, 1u64..1_000, 0u32..16)
+        .prop_map(|(n, s, p)| Entry::with_priority(NodeId(n), SeqNum(s), Priority(p)))
+}
+
+fn qlist_strategy() -> impl Strategy<Value = QList> {
+    proptest::collection::vec(entry_strategy(), 0..20)
+        .prop_map(|v| v.into_iter().collect::<QList>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn wire_roundtrip_new_arbiter(
+        q in qlist_strategy(),
+        arbiter in 0u32..32,
+        prev in 0u32..32,
+        round in any::<u64>(),
+        counter in any::<u32>(),
+        epoch in any::<u64>(),
+        monitor in proptest::option::of(0u32..32),
+    ) {
+        use tokq::protocol::arbiter::ArbiterMsg;
+        let msg = ArbiterMsg::NewArbiter {
+            arbiter: NodeId(arbiter),
+            q,
+            prev: NodeId(prev),
+            round,
+            counter,
+            epoch,
+            monitor: monitor.map(NodeId),
+        };
+        let frame = tokq::core::encode(&msg);
+        let back = tokq::core::decode(&frame).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn wire_decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = tokq::core::decode(&bytes); // must return Err, not panic
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chaos fuzzing: arbitrary (even nonsensical) message sequences must
+// never panic a node — a malicious or confused peer cannot crash us.
+// ---------------------------------------------------------------------
+
+fn arbiter_msg_strategy(n: u32) -> impl Strategy<Value = tokq::protocol::arbiter::ArbiterMsg> {
+    use tokq::protocol::arbiter::{ArbiterMsg, Token, TokenStatus};
+    let node = move || (0..n).prop_map(NodeId);
+    let token = (qlist_strategy(), any::<u64>(), 0u64..4, any::<bool>()).prop_map(
+        move |(q, round, epoch, via_monitor)| Token {
+            q,
+            last_granted: vec![SeqNum(0); n as usize],
+            round,
+            epoch,
+            via_monitor,
+        },
+    );
+    prop_oneof![
+        (node(), 1u64..50, 0u32..4, 0u32..6).prop_map(|(r, s, p, h)| ArbiterMsg::Request {
+            requester: r,
+            seq: SeqNum(s),
+            priority: Priority(p),
+            hops: h,
+        }),
+        token.prop_map(ArbiterMsg::Privilege),
+        (
+            node(),
+            qlist_strategy(),
+            node(),
+            any::<u64>(),
+            any::<u32>(),
+            0u64..4,
+            proptest::option::of(node())
+        )
+            .prop_map(|(a, q, prev, round, counter, epoch, monitor)| {
+                ArbiterMsg::NewArbiter {
+                    arbiter: a,
+                    q,
+                    prev,
+                    round,
+                    counter,
+                    epoch,
+                    monitor,
+                }
+            }),
+        (node(), 1u64..50).prop_map(|(r, s)| ArbiterMsg::MonitorSubmit {
+            requester: r,
+            seq: SeqNum(s),
+            priority: Priority(0),
+        }),
+        any::<u64>().prop_map(|round| ArbiterMsg::Warning { round }),
+        (0u64..4).prop_map(|epoch| ArbiterMsg::Enquiry { epoch }),
+        prop_oneof![
+            Just(TokenStatus::HadToken),
+            Just(TokenStatus::HaveToken),
+            Just(TokenStatus::Waiting),
+            Just(TokenStatus::Idle)
+        ]
+        .prop_map(|status| ArbiterMsg::EnquiryReply { status }),
+        Just(ArbiterMsg::Resume),
+        (0u64..4).prop_map(|epoch| ArbiterMsg::Invalidate { epoch }),
+        Just(ArbiterMsg::Probe),
+        any::<bool>().prop_map(|arbiter| ArbiterMsg::ProbeAck { arbiter }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A fault-tolerant node fed arbitrary message salvos from arbitrary
+    /// peers never panics (it may emit any actions; we only require it to
+    /// stay standing). Requests and completions are interleaved to reach
+    /// the in-CS states too.
+    #[test]
+    fn arbiter_node_survives_arbitrary_message_chaos(
+        msgs in proptest::collection::vec(
+            ((0u32..5), arbiter_msg_strategy(5)),
+            0..60
+        ),
+    ) {
+        use tokq::protocol::api::{Protocol, ProtocolFactory};
+        use tokq::protocol::event::{Action, Input};
+        let mut node = ArbiterConfig::fault_tolerant().build(NodeId(0), 5);
+        node.step(Input::Start);
+        let mut in_cs = false;
+        let mut want = false;
+        for (from, msg) in msgs {
+            if from == 0 {
+                // Interleave app activity at a contract-respecting cadence.
+                if in_cs {
+                    node.step(Input::CsDone);
+                    in_cs = false;
+                    want = false;
+                } else if !want {
+                    want = true;
+                    let acts = node.step(Input::RequestCs);
+                    in_cs |= acts.iter().any(|a| matches!(a, Action::EnterCs));
+                }
+                continue;
+            }
+            let acts = node.step(Input::Deliver { from: NodeId(from), msg });
+            if acts.iter().any(|a| matches!(a, Action::EnterCs)) {
+                in_cs = true;
+            }
+        }
+    }
+
+    /// The same chaos against the basic configuration (no recovery state
+    /// machinery to absorb oddities).
+    #[test]
+    fn basic_arbiter_survives_arbitrary_message_chaos(
+        msgs in proptest::collection::vec(
+            ((1u32..5), arbiter_msg_strategy(5)),
+            0..60
+        ),
+    ) {
+        use tokq::protocol::api::{Protocol, ProtocolFactory};
+        use tokq::protocol::event::Input;
+        let mut node = ArbiterConfig::basic().build(NodeId(0), 5);
+        node.step(Input::Start);
+        for (from, msg) in msgs {
+            let _ = node.step(Input::Deliver { from: NodeId(from), msg });
+        }
+    }
+}

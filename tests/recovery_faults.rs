@@ -1,0 +1,243 @@
+//! Failure recovery (paper §6) under deterministic and stochastic faults.
+//!
+//! All runs use the fault-tolerant configuration; the simulator's online
+//! safety check guarantees that surviving a run means mutual exclusion
+//! held throughout it.
+
+use tokq::protocol::arbiter::{ArbiterConfig, RecoveryConfig};
+use tokq::protocol::types::NodeId;
+use tokq::simnet::{FaultPlan, SimConfig, SimTime, Simulation, Unreliability};
+use tokq::workload::Workload;
+
+fn ft() -> ArbiterConfig {
+    ArbiterConfig {
+        recovery: Some(RecoveryConfig::default()),
+        ..ArbiterConfig::basic()
+    }
+}
+
+fn sim(seed: u64) -> SimConfig {
+    let mut c = SimConfig::paper_defaults(10).with_seed(seed);
+    c.warmup_cs = 50;
+    c.max_sim_time = Some(SimTime::from_secs_f64(500_000.0));
+    c
+}
+
+#[test]
+fn token_drop_is_detected_and_regenerated() {
+    let r = Simulation::build(sim(1), ft(), Workload::poisson(0.5))
+        .with_faults(FaultPlan::none().drop_token(SimTime::from_secs_f64(20.0), 1))
+        .run_until_cs(2_000);
+    assert!(r.cs_measured >= 2_000, "run stalled after token drop");
+    assert_eq!(
+        r.note_count("token_regenerated"),
+        1,
+        "exactly one regeneration expected: {:?}",
+        r.notes
+    );
+    assert!(r.note_count("invalidation_started") >= 1);
+}
+
+#[test]
+fn repeated_token_drops_each_recover() {
+    let plan = FaultPlan::none()
+        .drop_token(SimTime::from_secs_f64(20.0), 1)
+        .drop_token(SimTime::from_secs_f64(60.0), 1)
+        .drop_token(SimTime::from_secs_f64(100.0), 1)
+        .drop_token(SimTime::from_secs_f64(140.0), 1);
+    let r = Simulation::build(sim(2), ft(), Workload::poisson(0.5))
+        .with_faults(plan)
+        .run_until_cs(2_000);
+    assert!(r.cs_measured >= 2_000);
+    assert_eq!(r.note_count("token_regenerated"), 4, "{:?}", r.notes);
+}
+
+#[test]
+fn non_token_holder_crash_is_harmless() {
+    // Paper §6: "The failure of nodes that are not scheduled to receive
+    // the token does not impede the successful execution".
+    let plan = FaultPlan::none()
+        .crash(NodeId(7), SimTime::from_secs_f64(15.0))
+        .recover(NodeId(7), SimTime::from_secs_f64(600.0));
+    let r = Simulation::build(sim(3), ft(), Workload::poisson(0.5))
+        .with_faults(plan)
+        .run_until_cs(2_000);
+    assert!(r.cs_measured >= 2_000);
+}
+
+#[test]
+fn crashed_arbiter_is_taken_over_or_token_regenerated() {
+    // Crash the initial arbiter before it ever hands over (t = 50 ms, no
+    // request has been serviced yet): nobody is watching it, so the
+    // requesters' silent-retry escalation must probe it, take over, and
+    // regenerate the token.
+    let plan = FaultPlan::none()
+        .crash(NodeId(0), SimTime::from_secs_f64(0.05))
+        .recover(NodeId(0), SimTime::from_secs_f64(120.0));
+    let r = Simulation::build(sim(4), ft(), Workload::poisson(0.5))
+        .with_faults(plan)
+        .run_until_cs(2_000);
+    assert!(r.cs_measured >= 2_000, "deadlocked after arbiter crash");
+    assert!(
+        r.note_count("arbiter_takeover") >= 1,
+        "a takeover must have fired: {:?}",
+        r.notes
+    );
+    assert!(
+        r.note_count("token_regenerated") >= 1,
+        "the crashed token must be regenerated: {:?}",
+        r.notes
+    );
+}
+
+#[test]
+fn crash_of_current_token_holder_recovers() {
+    // Crash a node likely to hold the token (the system is saturated, so
+    // every instant someone holds it); its in-flight critical section dies
+    // with it and the token must be regenerated.
+    let plan = FaultPlan::none().crash(NodeId(5), SimTime::from_secs_f64(30.1234));
+    let r = Simulation::build(sim(5), ft(), Workload::saturating())
+        .with_faults(plan)
+        .run_until_cs(3_000);
+    assert!(r.cs_measured >= 3_000);
+}
+
+#[test]
+fn survives_sustained_message_loss_with_recovery() {
+    // 2% of every message silently dropped, forever. Recovery timeouts and
+    // retransmissions must keep grinding forward.
+    let mut cfg = sim(6);
+    cfg.unreliability = Unreliability::lossy(0.02);
+    let r = Simulation::build(cfg, ft(), Workload::poisson(0.5)).run_until_cs(1_500);
+    assert!(
+        r.cs_measured >= 1_500,
+        "stalled under 2% loss: only {} CS",
+        r.cs_measured
+    );
+}
+
+#[test]
+fn survives_loss_burst_window() {
+    use tokq::simnet::Fault;
+    // A 10-second window where 40% of messages vanish.
+    let plan = FaultPlan::none().with(Fault::LossWindow {
+        from: SimTime::from_secs_f64(20.0),
+        until: SimTime::from_secs_f64(30.0),
+        prob: 0.4,
+    });
+    let r = Simulation::build(sim(7), ft(), Workload::poisson(0.5))
+        .with_faults(plan)
+        .run_until_cs(2_000);
+    assert!(r.cs_measured >= 2_000);
+}
+
+#[test]
+fn triple_fault_crash_drop_and_loss() {
+    use tokq::simnet::Fault;
+    let plan = FaultPlan::none()
+        .crash(NodeId(2), SimTime::from_secs_f64(25.0))
+        .recover(NodeId(2), SimTime::from_secs_f64(70.0))
+        .drop_token(SimTime::from_secs_f64(40.0), 1)
+        .with(Fault::LossWindow {
+            from: SimTime::from_secs_f64(50.0),
+            until: SimTime::from_secs_f64(55.0),
+            prob: 0.3,
+        });
+    let r = Simulation::build(sim(8), ft(), Workload::poisson(0.5))
+        .with_faults(plan)
+        .run_until_cs(1_500);
+    assert!(r.cs_measured >= 1_500, "triple fault broke liveness");
+}
+
+#[test]
+fn recovered_node_rejoins_and_gets_served() {
+    let plan = FaultPlan::none()
+        .crash(NodeId(4), SimTime::from_secs_f64(10.0))
+        .recover(NodeId(4), SimTime::from_secs_f64(40.0));
+    let r = Simulation::build(sim(9), ft(), Workload::poisson(0.5))
+        .with_faults(plan)
+        .run_until_cs(4_000);
+    // Node 4 keeps generating load after recovery and must be served.
+    assert!(
+        r.per_node_cs[4] > 0,
+        "recovered node never completed a CS: {:?}",
+        r.per_node_cs
+    );
+}
+
+#[test]
+fn starvation_free_variant_also_recovers() {
+    let cfg = ArbiterConfig::fault_tolerant();
+    let plan = FaultPlan::none().drop_token(SimTime::from_secs_f64(20.0), 1);
+    let r = Simulation::build(sim(10), cfg, Workload::poisson(0.5))
+        .with_faults(plan)
+        .run_until_cs(2_000);
+    assert!(r.cs_measured >= 2_000);
+    assert_eq!(r.note_count("token_regenerated"), 1);
+}
+
+#[test]
+fn basic_algorithm_without_recovery_stalls_on_token_loss() {
+    // Negative control: the *basic* configuration has no token-loss
+    // detection, so a dropped token must halt all progress.
+    let mut cfg = sim(11);
+    cfg.max_sim_time = Some(SimTime::from_secs_f64(2_000.0));
+    let r = Simulation::build(cfg, ArbiterConfig::basic(), Workload::poisson(0.5))
+        .with_faults(FaultPlan::none().drop_token(SimTime::from_secs_f64(20.0), 1))
+        .run_until_cs(100_000);
+    assert!(
+        r.cs_measured < 100_000,
+        "the basic algorithm should not survive token loss"
+    );
+}
+
+#[test]
+fn majority_side_survives_a_partition_and_heals() {
+    // Nodes 8 and 9 are cut off for 40 seconds. The majority side keeps
+    // granting (the token circulates among believers it can reach, and
+    // recovery regenerates it if it was stranded on the island); after the
+    // heal, the islanders get served again.
+    let plan = FaultPlan::none().partition(
+        vec![NodeId(8), NodeId(9)],
+        SimTime::from_secs_f64(20.0),
+        SimTime::from_secs_f64(60.0),
+    );
+    let r = Simulation::build(sim(12), ft(), Workload::poisson(0.5))
+        .with_faults(plan)
+        .run_until_cs(4_000);
+    assert!(r.cs_measured >= 4_000, "partition broke liveness");
+    assert!(
+        r.per_node_cs[8] > 0 && r.per_node_cs[9] > 0,
+        "islanders must be served after the heal: {:?}",
+        r.per_node_cs
+    );
+}
+
+#[test]
+fn token_stranded_on_island_is_regenerated() {
+    // Partition the initial arbiter (which holds the token at t=1) away:
+    // the majority must detect the loss and regenerate. The islander stays
+    // quiet — the paper's §6 fault model is crash-stop ("nodes that do not
+    // respond are assumed to have failed"), so a *live and locking* token
+    // holder behind a partition is outside the algorithm's guarantees
+    // (DESIGN.md documents this limitation; it applies equally to the
+    // paper's original protocol).
+    let plan = FaultPlan::none().partition(
+        vec![NodeId(0)],
+        SimTime::from_secs_f64(0.05),
+        SimTime::from_secs_f64(400.0),
+    );
+    let r = Simulation::build(
+        sim(13),
+        ft(),
+        Workload::only_nodes((1..10).collect(), 0.5),
+    )
+    .with_faults(plan)
+    .run_until_cs(2_000);
+    assert!(r.cs_measured >= 2_000, "stranded token never replaced");
+    assert!(
+        r.note_count("token_regenerated") >= 1,
+        "{:?}",
+        r.notes
+    );
+}

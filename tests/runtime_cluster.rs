@@ -1,0 +1,223 @@
+//! End-to-end tests of the threaded runtime (`tokq-core`): real threads,
+//! real timers, encoded frames, delayed/lossy transport, RAII guards.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tokq::core::{Cluster, NetOptions};
+use tokq::protocol::arbiter::{ArbiterConfig, RecoveryConfig};
+use tokq::protocol::types::TimeDelta;
+
+fn quick() -> ArbiterConfig {
+    ArbiterConfig::basic()
+        .with_t_collect(TimeDelta::from_millis(1))
+        .with_t_forward(TimeDelta::from_millis(1))
+}
+
+fn quick_ft() -> ArbiterConfig {
+    ArbiterConfig {
+        recovery: Some(RecoveryConfig {
+            token_wait_base: TimeDelta::from_millis(100),
+            token_wait_per_position: TimeDelta::from_millis(25),
+            enquiry_timeout: TimeDelta::from_millis(50),
+            handover_watch: TimeDelta::from_millis(200),
+            probe_timeout: TimeDelta::from_millis(50),
+        }),
+        ..quick()
+    }
+}
+
+/// Asserts no two guards coexist by counting concurrent holders.
+fn hammer(cluster: &Cluster, rounds: u32) -> u64 {
+    let inside = Arc::new(AtomicU32::new(0));
+    let total = Arc::new(AtomicU64::new(0));
+    let mut joins = Vec::new();
+    for node in 0..cluster.len() {
+        let handle = cluster.handle(node);
+        let inside = Arc::clone(&inside);
+        let total = Arc::clone(&total);
+        joins.push(std::thread::spawn(move || {
+            for _ in 0..rounds {
+                let guard = handle.lock();
+                let was = inside.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(was, 0, "mutual exclusion violated on the runtime");
+                std::thread::sleep(Duration::from_micros(100));
+                inside.fetch_sub(1, Ordering::SeqCst);
+                total.fetch_add(1, Ordering::SeqCst);
+                drop(guard);
+            }
+        }));
+    }
+    for j in joins {
+        j.join().expect("worker panicked");
+    }
+    total.load(Ordering::SeqCst)
+}
+
+#[test]
+fn mutual_exclusion_on_instant_network() {
+    let cluster = Cluster::builder(5).config(quick()).build();
+    let metrics = cluster.metrics_handle();
+    assert_eq!(hammer(&cluster, 20), 100);
+    cluster.shutdown(); // joins node threads: all releases processed
+    assert_eq!(metrics.cs_completed_total(), 100);
+}
+
+#[test]
+fn mutual_exclusion_with_delay_and_jitter() {
+    let cluster = Cluster::builder(4)
+        .config(quick())
+        .net(NetOptions::delayed(
+            Duration::from_millis(1),
+            Duration::from_millis(1),
+        ))
+        .build();
+    assert_eq!(hammer(&cluster, 10), 40);
+    cluster.shutdown();
+}
+
+#[test]
+fn mutual_exclusion_with_lossy_network_and_recovery() {
+    let cluster = Cluster::builder(4)
+        .config(quick_ft())
+        .net(
+            NetOptions::delayed(Duration::from_micros(300), Duration::from_micros(200))
+                .lossy(0.01),
+        )
+        .build();
+    assert_eq!(hammer(&cluster, 10), 40);
+    cluster.shutdown();
+}
+
+#[test]
+fn reentrant_sequential_locking_from_one_handle() {
+    let cluster = Cluster::builder(3).config(quick()).build();
+    let metrics = cluster.metrics_handle();
+    let h = cluster.handle(2);
+    for _ in 0..50 {
+        let g = h.lock();
+        drop(g);
+    }
+    cluster.shutdown();
+    assert_eq!(metrics.cs_completed_total(), 50);
+}
+
+#[test]
+fn competing_threads_on_the_same_node_queue_up() {
+    let cluster = Arc::new(Cluster::builder(2).config(quick()).build());
+    let inside = Arc::new(AtomicU32::new(0));
+    let mut joins = Vec::new();
+    for _ in 0..4 {
+        let handle = cluster.handle(0);
+        let inside = Arc::clone(&inside);
+        joins.push(std::thread::spawn(move || {
+            for _ in 0..10 {
+                let _g = handle.lock();
+                let was = inside.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(was, 0);
+                inside.fetch_sub(1, Ordering::SeqCst);
+            }
+        }));
+    }
+    for j in joins {
+        j.join().expect("worker");
+    }
+    let cluster = Arc::try_unwrap(cluster).expect("workers joined");
+    let metrics = cluster.metrics_handle();
+    cluster.shutdown();
+    assert_eq!(metrics.cs_completed_total(), 40);
+}
+
+#[test]
+fn try_lock_for_times_out_while_lock_is_held() {
+    let cluster = Cluster::builder(2).config(quick()).build();
+    let a = cluster.handle(0);
+    let b = cluster.handle(1);
+    let g = a.lock();
+    let start = std::time::Instant::now();
+    assert!(b.try_lock_for(Duration::from_millis(80)).is_none());
+    assert!(start.elapsed() >= Duration::from_millis(75));
+    drop(g);
+    assert!(b.try_lock_for(Duration::from_secs(10)).is_some());
+    cluster.shutdown();
+}
+
+#[test]
+fn crash_and_recovery_on_the_runtime() {
+    let cluster = Arc::new(Cluster::builder(4).config(quick_ft()).build());
+    // Warm up: everybody locks once.
+    for node in 0..4 {
+        let g = cluster.handle(node).lock();
+        drop(g);
+    }
+    // Crash node 0 (initial arbiter); the others must still acquire.
+    cluster.crash(0);
+    let h = cluster.handle(2);
+    let got = h.try_lock_for(Duration::from_secs(20));
+    assert!(got.is_some(), "lock unavailable after crashing node 0");
+    drop(got);
+    // Recover node 0 and let it lock again.
+    cluster.recover(0);
+    let g = cluster
+        .handle(0)
+        .try_lock_for(Duration::from_secs(20))
+        .expect("recovered node must reacquire");
+    drop(g);
+    match Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => panic!("outstanding refs"),
+    }
+}
+
+#[test]
+fn metrics_reflect_protocol_traffic() {
+    let cluster = Cluster::builder(3).config(quick()).build();
+    let metrics = cluster.metrics_handle();
+    for node in 0..3 {
+        let g = cluster.handle(node).lock();
+        drop(g);
+    }
+    cluster.shutdown();
+    assert_eq!(metrics.cs_completed_total(), 3);
+    let kinds = metrics.by_kind();
+    assert!(kinds.contains_key("PRIVILEGE"), "kinds: {kinds:?}");
+    assert!(kinds.contains_key("NEW-ARBITER"), "kinds: {kinds:?}");
+}
+
+#[test]
+fn guard_drop_after_cluster_shutdown_is_harmless() {
+    let cluster = Cluster::builder(2).config(quick()).build();
+    let g = cluster.handle(0).lock();
+    cluster.shutdown();
+    drop(g); // must not panic
+}
+
+#[test]
+fn mutual_exclusion_over_real_tcp_sockets() {
+    let cluster = Cluster::builder(4).config(quick_ft()).tcp().build();
+    let metrics = cluster.metrics_handle();
+    assert_eq!(hammer(&cluster, 10), 40);
+    cluster.shutdown();
+    assert_eq!(metrics.cs_completed_total(), 40);
+    // Real frames moved: the PRIVILEGE counter is non-zero.
+    assert!(metrics.by_kind().contains_key("PRIVILEGE"));
+}
+
+#[test]
+fn tcp_cluster_survives_crash_and_recovery() {
+    let cluster = Cluster::builder(3).config(quick_ft()).tcp().build();
+    let g = cluster.handle(1).lock();
+    drop(g);
+    cluster.crash(0);
+    let got = cluster.handle(2).try_lock_for(Duration::from_secs(20));
+    assert!(got.is_some(), "lock unavailable after crash over TCP");
+    drop(got);
+    cluster.recover(0);
+    let g = cluster
+        .handle(0)
+        .try_lock_for(Duration::from_secs(20))
+        .expect("recovered node reacquires over TCP");
+    drop(g);
+    cluster.shutdown();
+}

@@ -1,0 +1,157 @@
+//! Safety and liveness across every implemented algorithm.
+//!
+//! The simulator asserts the mutual-exclusion invariant online — any
+//! overlapping critical sections panic the run — so completing a run *is*
+//! the safety check; reaching the target count is the liveness check.
+
+use tokq::protocol::arbiter::ArbiterConfig;
+use tokq::protocol::types::TimeDelta;
+use tokq::simnet::{DelayModel, SimConfig, Simulation};
+use tokq::workload::Workload;
+use tokq_bench::Algo;
+
+fn all_algorithms() -> Vec<Algo> {
+    vec![
+        Algo::Arbiter(ArbiterConfig::basic()),
+        Algo::Arbiter(ArbiterConfig::starvation_free()),
+        Algo::Arbiter(ArbiterConfig::fault_tolerant()),
+        Algo::RicartAgrawala,
+        Algo::Singhal,
+        Algo::SuzukiKasami,
+        Algo::Raymond,
+        Algo::Maekawa,
+        Algo::Centralized,
+    ]
+}
+
+fn sim(n: usize, seed: u64) -> SimConfig {
+    let mut c = SimConfig::paper_defaults(n).with_seed(seed);
+    c.warmup_cs = 50;
+    c
+}
+
+#[test]
+fn every_algorithm_is_safe_and_live_under_poisson_load() {
+    for algo in all_algorithms() {
+        for seed in [1u64, 42, 0xDEAD] {
+            let r = algo.run(sim(8, seed), Workload::poisson(1.5), 1_000);
+            assert!(
+                r.cs_measured >= 1_000,
+                "{} (seed {seed}) completed only {}",
+                algo.name(),
+                r.cs_measured
+            );
+        }
+    }
+}
+
+#[test]
+fn every_algorithm_survives_saturation() {
+    for algo in all_algorithms() {
+        let r = algo.run(sim(6, 7), Workload::saturating(), 2_000);
+        assert!(r.cs_measured >= 2_000, "{} starved", algo.name());
+        // Saturated fairness: nobody is starved outright.
+        assert!(
+            r.per_node_cs.iter().all(|&c| c > 0),
+            "{} starved a node: {:?}",
+            algo.name(),
+            r.per_node_cs
+        );
+    }
+}
+
+#[test]
+fn every_algorithm_is_safe_under_random_delays() {
+    // Uniform and heavy-tailed delays reorder messages aggressively.
+    let models = [
+        DelayModel::Uniform {
+            lo: TimeDelta::from_millis(10),
+            hi: TimeDelta::from_millis(300),
+        },
+        DelayModel::ExponentialTail {
+            base: TimeDelta::from_millis(5),
+            mean_tail: TimeDelta::from_millis(120),
+        },
+    ];
+    for algo in all_algorithms() {
+        for (i, model) in models.iter().enumerate() {
+            let mut cfg = sim(6, 100 + i as u64);
+            cfg.delay = *model;
+            let r = algo.run(cfg, Workload::poisson(1.0), 800);
+            assert!(
+                r.cs_measured >= 800,
+                "{} stalled under {:?}",
+                algo.name(),
+                model
+            );
+        }
+    }
+}
+
+#[test]
+fn single_node_degenerate_system_works() {
+    for algo in all_algorithms() {
+        let r = algo.run(sim(1, 3), Workload::poisson(5.0), 200);
+        assert!(r.cs_measured >= 200, "{} failed with n=1", algo.name());
+        // A single node needs no messages at all.
+        assert_eq!(
+            r.messages_total,
+            0,
+            "{} sent messages in a single-node system",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn two_node_systems_alternate_correctly() {
+    for algo in all_algorithms() {
+        let r = algo.run(sim(2, 9), Workload::saturating(), 1_000);
+        assert!(r.cs_measured >= 1_000, "{} failed with n=2", algo.name());
+        let min = *r.per_node_cs.iter().min().unwrap();
+        let max = *r.per_node_cs.iter().max().unwrap();
+        assert!(
+            min * 3 >= max,
+            "{} unfair at n=2: {:?}",
+            algo.name(),
+            r.per_node_cs
+        );
+    }
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let run = || {
+        Simulation::build(
+            sim(10, 0xFEED),
+            ArbiterConfig::basic(),
+            Workload::poisson(0.7),
+        )
+        .run_until_cs(2_000)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.messages_total, b.messages_total);
+    assert_eq!(a.cs_total, b.cs_total);
+    assert_eq!(a.per_node_cs, b.per_node_cs);
+    assert_eq!(a.messages_by_kind, b.messages_by_kind);
+    assert_eq!(a.sim_end_secs, b.sim_end_secs);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let run = |seed| {
+        Simulation::build(
+            sim(10, seed),
+            ArbiterConfig::basic(),
+            Workload::poisson(0.7),
+        )
+        .run_until_cs(2_000)
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_ne!(
+        a.sim_end_secs, b.sim_end_secs,
+        "independent seeds should produce different trajectories"
+    );
+}

@@ -1,0 +1,201 @@
+//! The paper's variants and fairness claims: the §4.1 starvation-free
+//! monitor, §5.1 load-balancing, §5.2 priorities, and the §2.4
+//! sequence-number refinement.
+
+use tokq::protocol::arbiter::{
+    ArbiterConfig, Fairness, MonitorConfig, MonitorPeriod,
+};
+use tokq::protocol::types::{Priority, TimeDelta};
+use tokq::simnet::{ExploreConfig, Explorer, SimConfig};
+use tokq::workload::Workload;
+use tokq_bench::Algo;
+
+fn sim(n: usize, seed: u64) -> SimConfig {
+    let mut c = SimConfig::paper_defaults(n).with_seed(seed);
+    c.warmup_cs = 100;
+    c
+}
+
+#[test]
+fn monitor_visits_track_load_adaptively() {
+    // Paper §4.1: "at high loads, the queue size will be high, causing the
+    // period to be long, and vice versa" — so monitor visits *per CS* must
+    // drop sharply from light to heavy load.
+    let cfg = ArbiterConfig::starvation_free();
+    let light = Algo::Arbiter(cfg.clone()).run(
+        sim(10, 70),
+        Workload::poisson(0.1),
+        4_000,
+    );
+    let heavy = Algo::Arbiter(cfg).run(sim(10, 71), Workload::saturating(), 4_000);
+    let light_rate = light.note_count("monitor_visit") as f64 / light.cs_total as f64;
+    let heavy_rate = heavy.note_count("monitor_visit") as f64 / heavy.cs_total as f64;
+    assert!(
+        light_rate > 4.0 * heavy_rate,
+        "adaptive period must shorten at light load: light {light_rate:.3}/CS vs heavy {heavy_rate:.3}/CS"
+    );
+}
+
+#[test]
+fn fixed_period_controls_monitor_frequency() {
+    let run = |every: u32, seed: u64| {
+        let cfg = ArbiterConfig {
+            monitor: Some(MonitorConfig {
+                period: MonitorPeriod::Fixed { every },
+                ..MonitorConfig::default()
+            }),
+            ..ArbiterConfig::basic()
+        };
+        Algo::Arbiter(cfg).run(sim(10, seed), Workload::poisson(0.3), 4_000)
+    };
+    let frequent = run(1, 72);
+    let rare = run(16, 73);
+    assert!(
+        frequent.note_count("monitor_visit") > 5 * rare.note_count("monitor_visit"),
+        "every=1 gives {} visits, every=16 gives {}",
+        frequent.note_count("monitor_visit"),
+        rare.note_count("monitor_visit")
+    );
+}
+
+#[test]
+fn monitor_rotation_spreads_the_monitor_role() {
+    // §5.1: "the role of the monitor node can also be shared by all the
+    // nodes by rotating". With rotation on, monitor visits land on many
+    // different nodes — observable through continued liveness plus visits
+    // far exceeding what a single sticky monitor path would deadlock on.
+    let cfg = ArbiterConfig {
+        monitor: Some(MonitorConfig {
+            period: MonitorPeriod::Fixed { every: 2 },
+            rotate: true,
+            ..MonitorConfig::default()
+        }),
+        ..ArbiterConfig::basic()
+    };
+    let r = Algo::Arbiter(cfg).run(sim(10, 74), Workload::poisson(0.5), 5_000);
+    assert!(r.cs_measured >= 5_000, "rotation broke liveness");
+    assert!(r.note_count("monitor_visit") > 100);
+    assert!(r.jain_fairness() > 0.95);
+}
+
+#[test]
+fn static_priorities_bias_service_order_without_starvation() {
+    // §5.2: priorities order each sealed batch, yet low-priority nodes
+    // keep being served because they drift to the tail (arbitership).
+    let n = 6;
+    let cfg = ArbiterConfig {
+        fairness: Fairness::Priority,
+        priorities: (0..n as u32).map(Priority).collect(),
+        ..ArbiterConfig::basic()
+    };
+    let r = Algo::Arbiter(cfg).run(sim(n, 75), Workload::saturating(), 12_000);
+    assert!(
+        r.per_node_cs.iter().all(|&c| c > 0),
+        "a node starved: {:?}",
+        r.per_node_cs
+    );
+    // Under saturation with per-batch priority ordering, throughput stays
+    // near-even (every batch contains everyone) — the *order inside each
+    // batch* is what priority changes. Check via grant latency: higher
+    // priority nodes wait less on average is not directly observable per
+    // node here, so assert the structural fact instead: the system stays
+    // fair overall.
+    assert!(r.jain_fairness() > 0.9, "fairness {:?}", r.per_node_cs);
+}
+
+#[test]
+fn seqnum_fairness_keeps_low_seq_nodes_first() {
+    // §2.4: SeqNumFair orders each batch by how many critical sections a
+    // node has completed, Suzuki–Kasami style.
+    let cfg = ArbiterConfig {
+        fairness: Fairness::SeqNumFair,
+        ..ArbiterConfig::basic()
+    };
+    let r = Algo::Arbiter(cfg).run(sim(8, 76), Workload::saturating(), 10_000);
+    assert!(r.cs_measured >= 10_000);
+    assert!(
+        r.jain_fairness() > 0.99,
+        "seqnum fairness should equalize: {:?}",
+        r.per_node_cs
+    );
+}
+
+#[test]
+fn hotspot_load_balances_arbiter_duty_onto_requesters() {
+    // §5.1: "only the nodes that request for the critical section are
+    // likely to be assigned the responsibility of being an arbiter".
+    // With only nodes 0-2 requesting, nodes 3-9 never become arbiter —
+    // observable as their completion counts staying zero while the
+    // requesters' split evenly.
+    let r = Algo::Arbiter(ArbiterConfig::basic()).run(
+        sim(10, 77),
+        Workload::only_nodes(vec![0, 1, 2], 1.0),
+        6_000,
+    );
+    assert_eq!(r.per_node_cs[3..].iter().sum::<u64>(), 0);
+    let min = r.per_node_cs[..3].iter().min().unwrap();
+    let max = r.per_node_cs[..3].iter().max().unwrap();
+    assert!(min * 2 >= *max, "requesters served unevenly: {:?}", r.per_node_cs);
+}
+
+#[test]
+fn arbiter_algorithm_survives_exhaustive_interleaving_check() {
+    // Bounded model checking of the actual paper algorithm: every delivery
+    // order of every in-flight message and timer for 3 nodes, 2 requests.
+    let stats = Explorer::new(ExploreConfig {
+        max_depth: 22,
+        max_states: 1_500_000,
+    })
+    .check(ArbiterConfig::basic(), 3, &[1, 2])
+    .expect("arbiter must be safe under every interleaving");
+    assert!(stats.states_explored > 1_000);
+}
+
+#[test]
+fn starvation_free_variant_survives_exhaustive_interleaving_check() {
+    let stats = Explorer::new(ExploreConfig {
+        max_depth: 18,
+        max_states: 1_500_000,
+    })
+    .check(ArbiterConfig::starvation_free(), 3, &[1, 2])
+    .expect("starvation-free variant must be safe under every interleaving");
+    assert!(stats.states_explored > 1_000);
+}
+
+#[test]
+fn tuned_forwarding_reduces_drops() {
+    // Eq. 7's engineering intent: a forwarding window that covers the
+    // NEW-ARBITER broadcast plus a request flight (T_fwd ≥ 2·T_msg)
+    // catches the stragglers a short window drops.
+    let short = Algo::Arbiter(
+        ArbiterConfig::basic().with_t_forward(TimeDelta::from_millis(10)),
+    )
+    .run(sim(10, 78), Workload::poisson(0.2), 5_000);
+    let tuned = Algo::Arbiter(
+        ArbiterConfig::basic().with_t_forward(TimeDelta::from_millis(250)),
+    )
+    .run(sim(10, 78), Workload::poisson(0.2), 5_000);
+    assert!(
+        tuned.note_count("request_dropped") < short.note_count("request_dropped"),
+        "tuned window must drop fewer: {} vs {}",
+        tuned.note_count("request_dropped"),
+        short.note_count("request_dropped")
+    );
+}
+
+#[test]
+fn bursty_traffic_is_handled_and_batches_grow_in_bursts() {
+    let r = Algo::Arbiter(ArbiterConfig::basic()).run(
+        sim(10, 79),
+        Workload::bursty(5.0, 0.05, TimeDelta::from_secs(3)),
+        6_000,
+    );
+    assert!(r.cs_measured >= 6_000, "bursty load broke liveness");
+    // During bursts the Q-list batches like the heavy-load regime, pushing
+    // messages/CS well below the light-load ≈N cost.
+    assert!(
+        r.messages_per_cs() < 8.0,
+        "bursts should batch: {:.2} msgs/CS",
+        r.messages_per_cs()
+    );
+}
