@@ -64,7 +64,7 @@ pub fn predicted_delay(lambda: f64, n: usize, p: ModelParams) -> f64 {
         + p.t_req                        // collection window
         + (b - 1.0) / 2.0 * (p.t_msg + p.t_exec) // predecessors in the batch
         + p.t_msg * (1.0 - 1.0 / nf)     // the token's hop to us
-        + p.t_exec                       // our own section
+        + p.t_exec // our own section
 }
 
 /// The per-node arrival rate at which the system saturates

@@ -69,8 +69,7 @@ pub fn fig345(s: RunSettings) -> (Table, Table, Table) {
         let mut row4 = vec![point.lambda.into()];
         let mut row5 = vec![point.lambda.into()];
         for (tc_idx, t_collect) in [0.1f64, 0.2f64].iter().enumerate() {
-            let cfg = ArbiterConfig::basic()
-                .with_t_collect(TimeDelta::from_secs_f64(*t_collect));
+            let cfg = ArbiterConfig::basic().with_t_collect(TimeDelta::from_secs_f64(*t_collect));
             let sim = s.sim((idx * 2 + tc_idx) as u64);
             let r = Algo::Arbiter(cfg).run(sim, Workload::poisson(point.lambda), s.cs_per_point);
             row3.push(r.messages_per_cs().into());

@@ -5,6 +5,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Sender};
+use tokq_obs::sink::JsonlWriter;
+use tokq_obs::{FlightRecorder, Level, Obs, Source};
 use tokq_protocol::api::ProtocolFactory;
 use tokq_protocol::arbiter::ArbiterConfig;
 use tokq_protocol::types::NodeId;
@@ -35,6 +37,8 @@ pub struct ClusterBuilder {
     config: ArbiterConfig,
     net: NetOptions,
     tcp: bool,
+    obs: Option<Obs>,
+    recorder: Option<(usize, Level)>,
 }
 
 impl ClusterBuilder {
@@ -62,6 +66,24 @@ impl ClusterBuilder {
         self
     }
 
+    /// Routes all tracing and metrics through an existing [`Obs`] handle
+    /// (defaults to [`Obs::from_env`] honouring `TOKQ_TRACE`).
+    #[must_use]
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Attaches a bounded flight recorder that keeps the last `capacity`
+    /// protocol events at `level` or below, independent of the streaming
+    /// trace filter. Dump it post-mortem via
+    /// [`Cluster::obs`]`().flight_recorder()`.
+    #[must_use]
+    pub fn flight_recorder(mut self, capacity: usize, level: Level) -> Self {
+        self.recorder = Some((capacity, level));
+        self
+    }
+
     /// Spawns the node threads and returns the running cluster.
     ///
     /// # Panics
@@ -69,7 +91,19 @@ impl ClusterBuilder {
     /// Panics if the node count is zero.
     pub fn build(self) -> Cluster {
         assert!(self.n > 0, "cluster needs at least one node");
-        let metrics = ClusterMetrics::new();
+        let obs = self.obs.unwrap_or_else(|| {
+            // `TOKQ_TRACE` alone must produce visible output: stream JSONL
+            // to stderr whenever the env filter enables anything.
+            let obs = Obs::from_env(Source::Runtime);
+            if obs.filter().max_level() > Level::Off {
+                obs.add_sink(JsonlWriter::stderr());
+            }
+            obs
+        });
+        if let Some((capacity, level)) = self.recorder {
+            obs.attach_flight_recorder(capacity, level);
+        }
+        let metrics = ClusterMetrics::with_obs(obs);
         let mut node_txs = Vec::with_capacity(self.n);
         let mut node_rxs = Vec::with_capacity(self.n);
         for _ in 0..self.n {
@@ -84,15 +118,13 @@ impl ClusterBuilder {
             // One loopback listener per node, ephemeral ports.
             let mut addrs = Vec::with_capacity(self.n);
             for tx in &node_txs {
-                let recv = TcpReceiver::bind(
-                    "127.0.0.1:0".parse().expect("loopback addr"),
-                    tx.clone(),
-                )
-                .expect("bind loopback listener");
+                let recv =
+                    TcpReceiver::bind("127.0.0.1:0".parse().expect("loopback addr"), tx.clone())
+                        .expect("bind loopback listener");
                 addrs.push(recv.local_addr());
                 tcp_receivers.push(recv);
             }
-            Arc::new(TcpSender::new(addrs))
+            Arc::new(TcpSender::with_obs(addrs, metrics.obs()))
         } else {
             // The channel transport needs inbox senders that wrap
             // envelopes into NodeEvents: a tiny pump per node.
@@ -119,7 +151,11 @@ impl ClusterBuilder {
                 wire_txs.push(wtx);
                 pump_threads.push(h);
             }
-            Arc::new(ChannelTransport::new(wire_txs, self.net))
+            Arc::new(ChannelTransport::with_obs(
+                wire_txs,
+                self.net,
+                metrics.obs(),
+            ))
         };
 
         let mut threads = Vec::with_capacity(self.n);
@@ -176,6 +212,8 @@ impl Cluster {
             config: ArbiterConfig::fault_tolerant(),
             net: NetOptions::instant(),
             tcp: false,
+            obs: None,
+            recorder: None,
         }
     }
 
@@ -215,6 +253,18 @@ impl Cluster {
     /// Shared metrics (messages, completions, notes).
     pub fn metrics(&self) -> &ClusterMetrics {
         &self.metrics
+    }
+
+    /// The observability handle the cluster traces into: registry access,
+    /// sinks, and the flight recorder (if one was attached).
+    pub fn obs(&self) -> &Obs {
+        self.metrics.obs()
+    }
+
+    /// The attached flight recorder, if [`ClusterBuilder::flight_recorder`]
+    /// was used (or a recorder was attached to the supplied [`Obs`]).
+    pub fn flight_recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.metrics.obs().flight_recorder()
     }
 
     /// A shared handle to the metrics that outlives the cluster — useful

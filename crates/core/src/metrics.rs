@@ -1,47 +1,83 @@
 //! Shared runtime metrics, mirroring the simulator's counters.
+//!
+//! Backed by the [`tokq_obs`] metrics registry: every counter is a
+//! dedicated atomic found through a read-locked handle lookup, so node
+//! threads never serialize on a shared map mutex the way the original
+//! `Mutex<BTreeMap>` implementation did. The public snapshot API is
+//! unchanged; the richer registry view (histograms, labelled counters) is
+//! reachable through [`ClusterMetrics::obs`].
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use tokq_obs::{Counter, Obs, Source};
+
+/// Counter namespace for per-kind transmitted messages.
+pub(crate) const MSG_SENT: &str = "msg_sent";
+/// Counter namespace for protocol notes.
+pub(crate) const NOTE: &str = "note";
 
 /// Cluster-wide counters, shared by all node threads.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ClusterMetrics {
-    messages_total: AtomicU64,
-    cs_completed: AtomicU64,
-    by_kind: Mutex<BTreeMap<&'static str, u64>>,
-    notes: Mutex<BTreeMap<&'static str, u64>>,
+    obs: Obs,
+    messages_total: Counter,
+    cs_completed: Counter,
+}
+
+impl Default for ClusterMetrics {
+    fn default() -> Self {
+        Self::on(Obs::from_env(Source::Runtime))
+    }
 }
 
 impl ClusterMetrics {
-    /// A fresh zeroed metrics sink.
+    /// A fresh metrics sink on its own `TOKQ_TRACE`-filtered [`Obs`].
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
     }
 
+    /// A metrics sink recording into an existing observability handle.
+    pub fn with_obs(obs: Obs) -> Arc<Self> {
+        Arc::new(Self::on(obs))
+    }
+
+    fn on(obs: Obs) -> Self {
+        let messages_total = obs.registry().counter("messages_total");
+        let cs_completed = obs.registry().counter("cs_completed");
+        ClusterMetrics {
+            obs,
+            messages_total,
+            cs_completed,
+        }
+    }
+
+    /// The observability handle these metrics record into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
     pub(crate) fn message(&self, kind: &'static str) {
-        self.messages_total.fetch_add(1, Ordering::Relaxed);
-        *self.by_kind.lock().entry(kind).or_insert(0) += 1;
+        self.messages_total.inc();
+        self.obs.registry().counter_with(MSG_SENT, kind).inc();
     }
 
     pub(crate) fn note(&self, label: &'static str) {
-        *self.notes.lock().entry(label).or_insert(0) += 1;
+        self.obs.registry().counter_with(NOTE, label).inc();
     }
 
     pub(crate) fn cs_completed(&self) {
-        self.cs_completed.fetch_add(1, Ordering::Relaxed);
+        self.cs_completed.inc();
     }
 
     /// Total messages transmitted so far.
     pub fn messages_total(&self) -> u64 {
-        self.messages_total.load(Ordering::Relaxed)
+        self.messages_total.get()
     }
 
     /// Total critical sections completed so far.
     pub fn cs_completed_total(&self) -> u64 {
-        self.cs_completed.load(Ordering::Relaxed)
+        self.cs_completed.get()
     }
 
     /// Average messages per completed critical section (NaN before the
@@ -56,19 +92,22 @@ impl ClusterMetrics {
 
     /// Snapshot of per-kind message counts.
     pub fn by_kind(&self) -> BTreeMap<String, u64> {
-        self.by_kind
-            .lock()
-            .iter()
-            .map(|(k, v)| ((*k).to_owned(), *v))
-            .collect()
+        self.namespace(MSG_SENT)
     }
 
     /// Snapshot of protocol note counts.
     pub fn notes(&self) -> BTreeMap<String, u64> {
-        self.notes
-            .lock()
-            .iter()
-            .map(|(k, v)| ((*k).to_owned(), *v))
+        self.namespace(NOTE)
+    }
+
+    fn namespace(&self, ns: &str) -> BTreeMap<String, u64> {
+        let prefix = format!("{ns}/");
+        self.obs
+            .registry()
+            .snapshot()
+            .counters
+            .into_iter()
+            .filter_map(|(name, v)| name.strip_prefix(&prefix).map(|kind| (kind.to_owned(), v)))
             .collect()
     }
 }
@@ -96,5 +135,16 @@ mod tests {
     fn empty_ratio_is_nan() {
         let m = ClusterMetrics::new();
         assert!(m.messages_per_cs().is_nan());
+    }
+
+    #[test]
+    fn registry_view_matches_snapshot_api() {
+        let obs = Obs::disabled(Source::Runtime);
+        let m = ClusterMetrics::with_obs(obs);
+        m.message("REQUEST");
+        let snap = m.obs().registry().snapshot();
+        assert_eq!(snap.counters["messages_total"], 1);
+        assert_eq!(snap.counters["msg_sent/REQUEST"], 1);
+        assert_eq!(m.by_kind()["REQUEST"], 1);
     }
 }

@@ -6,14 +6,22 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use tokq_obs::{span, Event, Level, Obs, SpanGuard};
 use tokq_protocol::api::Protocol;
 use tokq_protocol::arbiter::{ArbiterMsg, ArbiterNode, ArbiterTimer};
-use tokq_protocol::event::{Action, Input};
+use tokq_protocol::event::{Action, Input, Note};
 use tokq_protocol::types::NodeId;
 
 use crate::metrics::ClusterMetrics;
 use crate::transport::{Envelope, Wire};
 use crate::wire;
+
+/// Trace target for protocol-level observations (notes, phases).
+const T_ARBITER: &str = "arbiter";
+/// Trace target for node lifecycle and lock servicing.
+const T_NODE: &str = "node";
+/// Trace target for per-message wire traffic.
+const T_NET: &str = "net";
 
 /// Events consumed by a node thread.
 #[derive(Debug)]
@@ -52,7 +60,10 @@ impl PartialOrd for PendingTimer {
 }
 impl Ord for PendingTimer {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other.due.cmp(&self.due).then_with(|| other.gen.cmp(&self.gen))
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.gen.cmp(&self.gen))
     }
 }
 
@@ -62,12 +73,21 @@ pub(crate) struct NodeLoop {
     rx: Receiver<NodeEvent>,
     transport: Arc<dyn Wire>,
     metrics: Arc<ClusterMetrics>,
+    obs: Obs,
     n: usize,
 
     timers: BinaryHeap<PendingTimer>,
     timer_gen: HashMap<ArbiterTimer, u64>,
 
-    waiters: VecDeque<Sender<()>>,
+    /// Pending grant channels paired with their acquire time, for the
+    /// CS-grant latency histogram.
+    waiters: VecDeque<(Sender<()>, Instant)>,
+    /// Open `request_collection` span while this node's arbiter window
+    /// collects requests (closed by the Q-list seal).
+    collection_span: Option<SpanGuard>,
+    /// Open `forwarding_phase` span while this node relays late requests
+    /// to its successor.
+    forwarding_span: Option<SpanGuard>,
     engaged: bool,
     in_cs: bool,
     alive: bool,
@@ -85,16 +105,20 @@ impl NodeLoop {
     ) -> Self {
         let id = protocol.id();
         let n = protocol.num_nodes();
+        let obs = metrics.obs().clone();
         NodeLoop {
             id,
             protocol,
             rx,
             transport,
             metrics,
+            obs,
             n,
             timers: BinaryHeap::new(),
             timer_gen: HashMap::new(),
             waiters: VecDeque::new(),
+            collection_span: None,
+            forwarding_span: None,
             engaged: false,
             in_cs: false,
             alive: true,
@@ -136,17 +160,44 @@ impl NodeLoop {
                 if !self.alive {
                     return false;
                 }
+                self.obs
+                    .registry()
+                    .counter("wire_bytes_in")
+                    .add(frame.len() as u64);
                 match wire::decode(&frame) {
-                    Ok(msg) => self.dispatch(Input::Deliver { from, msg }),
+                    Ok(msg) => {
+                        use tokq_protocol::api::ProtocolMessage;
+                        let kind = msg.kind();
+                        if self.obs.enabled(T_NET, Level::Trace) {
+                            self.obs.emit(
+                                Event::new(T_NET, Level::Trace, "msg_recv")
+                                    .node(u64::from(self.id.0))
+                                    .field("from", &from.0)
+                                    .field("kind", &kind)
+                                    .field("bytes", &(frame.len() as u64)),
+                            );
+                        }
+                        let hist = self.obs.registry().histogram_with("handle_ns", kind);
+                        let start = Instant::now();
+                        self.dispatch(Input::Deliver { from, msg });
+                        hist.record_duration(start.elapsed());
+                    }
                     Err(err) => {
                         // A corrupt frame is dropped like a lost message.
                         self.metrics.note("wire_decode_error");
-                        let _ = err;
+                        if self.obs.enabled(T_NET, Level::Debug) {
+                            self.obs.emit(
+                                Event::new(T_NET, Level::Debug, "wire_decode_error")
+                                    .node(u64::from(self.id.0))
+                                    .field("from", &from.0)
+                                    .field("error", &format!("{err:?}")),
+                            );
+                        }
                     }
                 }
             }
             NodeEvent::Acquire { grant } => {
-                self.waiters.push_back(grant);
+                self.waiters.push_back((grant, Instant::now()));
                 self.pump_lock();
             }
             NodeEvent::Release => {
@@ -154,6 +205,12 @@ impl NodeLoop {
                     self.in_cs = false;
                     self.engaged = false;
                     self.metrics.cs_completed();
+                    if self.obs.enabled(T_NODE, Level::Debug) {
+                        self.obs.emit(
+                            Event::new(T_NODE, Level::Debug, "cs_released")
+                                .node(u64::from(self.id.0)),
+                        );
+                    }
                     self.dispatch(Input::CsDone);
                     self.pump_lock();
                 }
@@ -165,13 +222,25 @@ impl NodeLoop {
                     self.in_cs = false;
                     self.engaged = false;
                     self.waiters.clear();
+                    self.collection_span = None;
+                    self.forwarding_span = None;
                     self.timers.clear();
                     self.timer_gen.clear();
+                    if self.obs.enabled(T_NODE, Level::Info) {
+                        self.obs.emit(
+                            Event::new(T_NODE, Level::Info, "crashed").node(u64::from(self.id.0)),
+                        );
+                    }
                 }
             }
             NodeEvent::Recover => {
                 if !self.alive {
                     self.alive = true;
+                    if self.obs.enabled(T_NODE, Level::Info) {
+                        self.obs.emit(
+                            Event::new(T_NODE, Level::Info, "recovered").node(u64::from(self.id.0)),
+                        );
+                    }
                     self.dispatch(Input::Recover);
                 }
             }
@@ -236,7 +305,23 @@ impl NodeLoop {
                 Action::EnterCs => {
                     self.in_cs = true;
                     match self.waiters.pop_front() {
-                        Some(grant) if grant.send(()).is_ok() => {}
+                        Some((grant, since)) if grant.send(()).is_ok() => {
+                            let waited = since.elapsed();
+                            self.obs
+                                .registry()
+                                .histogram_with("span_ns", "cs_grant")
+                                .record_duration(waited);
+                            if self.obs.enabled(T_NODE, Level::Debug) {
+                                self.obs.emit(
+                                    Event::new(T_NODE, Level::Debug, "cs_granted")
+                                        .node(u64::from(self.id.0))
+                                        .field(
+                                            "wait_ns",
+                                            &(waited.as_nanos().min(u128::from(u64::MAX)) as u64),
+                                        ),
+                                );
+                            }
+                        }
                         _ => {
                             // The waiter gave up (timeout) or vanished:
                             // release immediately so the token moves on.
@@ -244,18 +329,62 @@ impl NodeLoop {
                         }
                     }
                 }
-                Action::Note(note) => self.metrics.note(note.label()),
+                Action::Note(note) => {
+                    self.metrics.note(note.label());
+                    if self.obs.enabled(T_ARBITER, Level::Debug) {
+                        self.obs.emit(
+                            Event::new(T_ARBITER, Level::Debug, note.label())
+                                .node(u64::from(self.id.0))
+                                .field("detail", &note),
+                        );
+                    }
+                    // Phase notes open/close wall-clock spans: dropping a
+                    // guard emits `span_close` and records the duration in
+                    // the `span_ns/<name>` histogram.
+                    match note {
+                        Note::CollectionOpened => {
+                            self.collection_span = Some(
+                                span!(self.obs, T_ARBITER, "request_collection")
+                                    .on_node(u64::from(self.id.0)),
+                            );
+                        }
+                        Note::QListSealed { .. } => self.collection_span = None,
+                        Note::ForwardingOpened { .. } => {
+                            self.forwarding_span = Some(
+                                span!(self.obs, T_ARBITER, "forwarding_phase")
+                                    .on_node(u64::from(self.id.0)),
+                            );
+                        }
+                        Note::ForwardingClosed => self.forwarding_span = None,
+                        _ => {}
+                    }
+                }
             }
         }
     }
 
     fn transmit(&self, to: NodeId, msg: &ArbiterMsg) {
         use tokq_protocol::api::ProtocolMessage;
-        self.metrics.message(msg.kind());
+        let kind = msg.kind();
+        self.metrics.message(kind);
+        let frame = wire::encode(msg);
+        self.obs
+            .registry()
+            .counter("wire_bytes_out")
+            .add(frame.len() as u64);
+        if self.obs.enabled(T_NET, Level::Trace) {
+            self.obs.emit(
+                Event::new(T_NET, Level::Trace, "msg_sent")
+                    .node(u64::from(self.id.0))
+                    .field("to", &to.0)
+                    .field("kind", &kind)
+                    .field("bytes", &(frame.len() as u64)),
+            );
+        }
         self.transport.send(Envelope {
             from: self.id,
             to,
-            frame: wire::encode(msg),
+            frame,
         });
     }
 }

@@ -16,6 +16,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;
+use tokq_obs::{Counter, Obs, Source};
 use tokq_protocol::types::NodeId;
 
 use crate::node::NodeEvent;
@@ -30,6 +31,10 @@ pub struct TcpSender {
     addrs: Vec<SocketAddr>,
     conns: Vec<Mutex<Option<TcpStream>>>,
     connect_timeout: Duration,
+    /// Successful outbound connection establishments (incl. reconnects).
+    connects: Counter,
+    /// Frames abandoned after the reconnect attempt also failed.
+    send_lost: Counter,
 }
 
 impl std::fmt::Debug for TcpSender {
@@ -43,11 +48,19 @@ impl std::fmt::Debug for TcpSender {
 impl TcpSender {
     /// A sender that can reach every address in `addrs` (indexed by node).
     pub fn new(addrs: Vec<SocketAddr>) -> Self {
+        Self::with_obs(addrs, &Obs::disabled(Source::Runtime))
+    }
+
+    /// Like [`TcpSender::new`], recording connection churn counters
+    /// (`tcp_connects`, `tcp_send_lost`) into `obs`.
+    pub fn with_obs(addrs: Vec<SocketAddr>, obs: &Obs) -> Self {
         let conns = (0..addrs.len()).map(|_| Mutex::new(None)).collect();
         TcpSender {
             addrs,
             conns,
             connect_timeout: Duration::from_millis(500),
+            connects: obs.registry().counter("tcp_connects"),
+            send_lost: obs.registry().counter("tcp_send_lost"),
         }
     }
 
@@ -58,6 +71,7 @@ impl TcpSender {
         if slot.is_none() {
             let stream = TcpStream::connect_timeout(&addr, self.connect_timeout)?;
             stream.set_nodelay(true)?;
+            self.connects.inc();
             *slot = Some(stream);
         }
         let stream = slot.as_mut().expect("just connected");
@@ -77,8 +91,8 @@ impl TcpSender {
 impl Wire for TcpSender {
     fn send(&self, env: Envelope) {
         // Best-effort: one reconnect attempt, then treat as lost.
-        if self.try_send(&env).is_err() {
-            let _ = self.try_send(&env);
+        if self.try_send(&env).is_err() && self.try_send(&env).is_err() {
+            self.send_lost.inc();
         }
     }
 }

@@ -10,6 +10,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use tokq_obs::{Counter, Gauge, Obs, Source};
 use tokq_protocol::types::NodeId;
 
 /// Network behaviour applied by the transport.
@@ -142,9 +143,35 @@ fn next_f64(state: &mut u64) -> f64 {
     (next_u64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
+/// Transport-level counters the network thread maintains.
+struct NetStats {
+    /// Frames dropped by simulated loss.
+    dropped: Counter,
+    /// Frames delivered after their delay elapsed.
+    delivered: Counter,
+    /// Frames currently queued in the delay heap.
+    inflight: Gauge,
+}
+
+impl NetStats {
+    fn on(obs: &Obs) -> Self {
+        NetStats {
+            dropped: obs.registry().counter("net_dropped"),
+            delivered: obs.registry().counter("net_delivered"),
+            inflight: obs.registry().gauge("net_inflight"),
+        }
+    }
+}
+
 impl ChannelTransport {
     /// Builds a transport delivering into `inboxes` under `opts`.
     pub fn new(inboxes: Vec<Sender<Envelope>>, opts: NetOptions) -> Self {
+        Self::with_obs(inboxes, opts, &Obs::disabled(Source::Runtime))
+    }
+
+    /// Like [`ChannelTransport::new`], recording loss/delay counters
+    /// (`net_dropped`, `net_delivered`, `net_inflight`) into `obs`.
+    pub fn with_obs(inboxes: Vec<Sender<Envelope>>, opts: NetOptions, obs: &Obs) -> Self {
         let needs_thread =
             opts.delay > Duration::ZERO || opts.jitter > Duration::ZERO || opts.loss > 0.0;
         if !needs_thread {
@@ -154,10 +181,11 @@ impl ChannelTransport {
                 net_thread: None,
             };
         }
+        let stats = NetStats::on(obs);
         let (tx, rx) = unbounded::<Envelope>();
         let thread = std::thread::Builder::new()
             .name("tokq-net".into())
-            .spawn(move || net_thread(rx, inboxes, opts))
+            .spawn(move || net_thread(rx, inboxes, opts, stats))
             .expect("spawn network thread");
         ChannelTransport {
             direct: Vec::new(),
@@ -199,7 +227,12 @@ impl Drop for ChannelTransport {
     }
 }
 
-fn net_thread(rx: Receiver<Envelope>, inboxes: Vec<Sender<Envelope>>, opts: NetOptions) {
+fn net_thread(
+    rx: Receiver<Envelope>,
+    inboxes: Vec<Sender<Envelope>>,
+    opts: NetOptions,
+    stats: NetStats,
+) {
     let mut heap: BinaryHeap<Delayed> = BinaryHeap::new();
     let mut seq = 0u64;
     let mut rng = opts.seed;
@@ -208,6 +241,8 @@ fn net_thread(rx: Receiver<Envelope>, inboxes: Vec<Sender<Envelope>>, opts: NetO
         let now = Instant::now();
         while heap.peek().is_some_and(|d| d.due <= now) {
             let d = heap.pop().expect("peeked");
+            stats.inflight.sub(1);
+            stats.delivered.inc();
             if let Some(inbox) = inboxes.get(d.env.to.index()) {
                 let _ = inbox.send(d.env);
             }
@@ -219,6 +254,7 @@ fn net_thread(rx: Receiver<Envelope>, inboxes: Vec<Sender<Envelope>>, opts: NetO
         match rx.recv_timeout(wait) {
             Ok(env) => {
                 if opts.loss > 0.0 && next_f64(&mut rng) < opts.loss {
+                    stats.dropped.inc();
                     continue;
                 }
                 let jitter = if opts.jitter > Duration::ZERO {
@@ -227,6 +263,7 @@ fn net_thread(rx: Receiver<Envelope>, inboxes: Vec<Sender<Envelope>>, opts: NetO
                     Duration::ZERO
                 };
                 seq += 1;
+                stats.inflight.add(1);
                 heap.push(Delayed {
                     due: Instant::now() + opts.delay + jitter,
                     seq,
@@ -238,6 +275,8 @@ fn net_thread(rx: Receiver<Envelope>, inboxes: Vec<Sender<Envelope>>, opts: NetO
                 // Flush what remains, then exit.
                 while let Some(d) = heap.pop() {
                     std::thread::sleep(d.due.saturating_duration_since(Instant::now()));
+                    stats.inflight.sub(1);
+                    stats.delivered.inc();
                     if let Some(inbox) = inboxes.get(d.env.to.index()) {
                         let _ = inbox.send(d.env);
                     }

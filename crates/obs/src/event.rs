@@ -1,0 +1,218 @@
+//! The structured event record and its JSONL schema.
+//!
+//! One [`Event`] is one line of JSONL. The schema is identical for the
+//! threaded runtime and the discrete-event simulator so the two can be
+//! diffed directly (`src` tells them apart, `ts` is seconds in either
+//! clock domain):
+//!
+//! ```json
+//! {"ts":0.0123,"src":"sim","node":3,"target":"arbiter","level":"debug",
+//!  "event":"qlist_sealed","fields":{"len":4}}
+//! ```
+
+use serde::ser::Serialize;
+use serde::value::Value;
+
+use crate::json;
+use crate::level::Level;
+
+/// Which clock domain an event was recorded in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Source {
+    /// Discrete-event simulator (`ts` is simulated seconds).
+    Sim,
+    /// Threaded runtime (`ts` is seconds since observability start).
+    Runtime,
+}
+
+impl Source {
+    /// The stable short name used in the JSONL `src` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Source::Sim => "sim",
+            Source::Runtime => "rt",
+        }
+    }
+
+    /// Parses a JSONL `src` field.
+    pub fn parse(s: &str) -> Option<Source> {
+        match s {
+            "sim" => Some(Source::Sim),
+            "rt" => Some(Source::Runtime),
+            _ => None,
+        }
+    }
+}
+
+/// One structured observability event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Seconds in the source's clock domain.
+    pub ts: f64,
+    /// Clock domain.
+    pub src: Source,
+    /// Node the event concerns, when there is one.
+    pub node: Option<u64>,
+    /// Subsystem target used for `TOKQ_TRACE` filtering.
+    pub target: String,
+    /// Verbosity level the event was emitted at.
+    pub level: Level,
+    /// Stable event name (e.g. `qlist_sealed`, `span_close`).
+    pub name: String,
+    /// Free-form key/value payload.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// A new event with no fields; timestamps and routing metadata are
+    /// normally filled in by [`crate::Obs`].
+    pub fn new(target: &str, level: Level, name: &str) -> Self {
+        Event {
+            ts: 0.0,
+            src: Source::Runtime,
+            node: None,
+            target: target.to_owned(),
+            level,
+            name: name.to_owned(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attaches one key/value field (builder-style).
+    pub fn field(mut self, key: &str, value: &dyn Serialize) -> Self {
+        self.fields.push((key.to_owned(), value.serialize()));
+        self
+    }
+
+    /// Attaches the node id (builder-style).
+    pub fn node(mut self, node: u64) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    /// The event as a JSON value in the JSONL schema.
+    pub fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("ts".to_owned(), Value::F64(self.ts)),
+            ("src".to_owned(), Value::Str(self.src.as_str().to_owned())),
+        ];
+        if let Some(node) = self.node {
+            entries.push(("node".to_owned(), Value::U64(node)));
+        }
+        entries.push(("target".to_owned(), Value::Str(self.target.clone())));
+        entries.push((
+            "level".to_owned(),
+            Value::Str(self.level.as_str().to_owned()),
+        ));
+        entries.push(("event".to_owned(), Value::Str(self.name.clone())));
+        if !self.fields.is_empty() {
+            entries.push(("fields".to_owned(), Value::Map(self.fields.clone())));
+        }
+        Value::Map(entries)
+    }
+
+    /// One compact JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        json::render(&self.to_value())
+    }
+
+    /// Parses an event back from its JSONL schema value.
+    ///
+    /// Inverse of [`Event::to_value`] for all events this crate produces
+    /// (a non-finite `ts` does not survive, as JSON has no encoding for
+    /// it).
+    pub fn from_value(v: &Value) -> Result<Event, String> {
+        let map = v.as_map().ok_or("event must be a JSON object")?;
+        let get = |key: &str| map.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let ts = match get("ts") {
+            Some(Value::F64(v)) => *v,
+            Some(Value::U64(v)) => *v as f64,
+            _ => return Err("missing numeric ts".into()),
+        };
+        let src = get("src")
+            .and_then(Value::as_str)
+            .and_then(Source::parse)
+            .ok_or("missing or unknown src")?;
+        let node = match get("node") {
+            None | Some(Value::Null) => None,
+            Some(Value::U64(v)) => Some(*v),
+            Some(_) => return Err("node must be an unsigned integer".into()),
+        };
+        let target = get("target")
+            .and_then(Value::as_str)
+            .ok_or("missing target")?
+            .to_owned();
+        let level = get("level")
+            .and_then(Value::as_str)
+            .map(Level::parse)
+            .ok_or("missing level")?;
+        let name = get("event")
+            .and_then(Value::as_str)
+            .ok_or("missing event name")?
+            .to_owned();
+        let fields = match get("fields") {
+            None => Vec::new(),
+            Some(Value::Map(entries)) => entries.clone(),
+            Some(_) => return Err("fields must be an object".into()),
+        };
+        Ok(Event {
+            ts,
+            src,
+            node,
+            target,
+            level,
+            name,
+            fields,
+        })
+    }
+
+    /// Parses one JSONL line.
+    pub fn from_jsonl(line: &str) -> Result<Event, String> {
+        let v = json::parse(line).map_err(|e| e.to_string())?;
+        Event::from_value(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_roundtrip_full() {
+        let e = Event::new("arbiter", Level::Debug, "qlist_sealed")
+            .node(3)
+            .field("len", &4u64)
+            .field("note", &"hello");
+        let line = e.to_jsonl();
+        let back = Event::from_jsonl(&line).unwrap();
+        assert_eq!(back, e);
+        assert!(line.contains("\"event\":\"qlist_sealed\""));
+        assert!(line.contains("\"src\":\"rt\""));
+    }
+
+    #[test]
+    fn jsonl_roundtrip_minimal() {
+        let mut e = Event::new("net", Level::Trace, "bytes_out");
+        e.src = Source::Sim;
+        e.ts = 1.25;
+        let back = Event::from_jsonl(&e.to_jsonl()).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.node, None);
+        assert!(back.fields.is_empty());
+    }
+
+    #[test]
+    fn from_value_rejects_malformed() {
+        assert!(Event::from_jsonl("[]").is_err());
+        assert!(Event::from_jsonl("{\"ts\":0.0}").is_err());
+        assert!(Event::from_jsonl("{\"ts\":0.0,\"src\":\"martian\"}").is_err());
+    }
+
+    #[test]
+    fn source_names_roundtrip() {
+        for src in [Source::Sim, Source::Runtime] {
+            assert_eq!(Source::parse(src.as_str()), Some(src));
+        }
+        assert_eq!(Source::parse("other"), None);
+    }
+}

@@ -1,0 +1,209 @@
+//! Verbosity levels and the `TOKQ_TRACE` environment filter.
+//!
+//! Filter syntax mirrors `env_logger`/`tracing`'s `EnvFilter` subset:
+//! a comma-separated list of clauses, each either a bare level (sets the
+//! default) or `target=level`. Later clauses win on ties. Examples:
+//!
+//! ```text
+//! TOKQ_TRACE=info                     # everything at info
+//! TOKQ_TRACE=arbiter=debug            # arbiter target at debug, rest off
+//! TOKQ_TRACE=info,net=trace,tcp=off   # info default, net chatty, tcp mute
+//! ```
+//!
+//! Unknown level names clamp to `trace` (fail loud, not silent); unknown
+//! targets are fine — matching is by exact target string.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Event verbosity, ordered from mute to chatty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Nothing is emitted.
+    Off = 0,
+    /// Protocol-visible milestones: grants, elections, recoveries.
+    Info = 1,
+    /// Per-message and per-phase detail.
+    Debug = 2,
+    /// Everything, including per-byte wire accounting.
+    Trace = 3,
+}
+
+impl Level {
+    /// The stable lowercase name used in JSONL output and `TOKQ_TRACE`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a level name (case-insensitive). Unknown names clamp to
+    /// `Trace` so a typo surfaces as extra output rather than silence.
+    pub fn parse(s: &str) -> Level {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Level::Off,
+            "info" | "1" => Level::Info,
+            "debug" | "2" => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Off,
+            1 => Level::Info,
+            2 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A compiled `TOKQ_TRACE` filter.
+///
+/// `enabled` is the hot-path check: a single relaxed atomic load rejects
+/// events above the filter's maximum level before any string comparison.
+#[derive(Debug)]
+pub struct TraceFilter {
+    default: Level,
+    per_target: Vec<(String, Level)>,
+    /// Highest level enabled for any target — the fast reject gate.
+    max: AtomicU8,
+}
+
+impl TraceFilter {
+    /// A filter that rejects everything.
+    pub fn off() -> Self {
+        TraceFilter::with_default(Level::Off)
+    }
+
+    /// A filter enabling every target at `level`.
+    pub fn with_default(level: Level) -> Self {
+        TraceFilter {
+            default: level,
+            per_target: Vec::new(),
+            max: AtomicU8::new(level as u8),
+        }
+    }
+
+    /// Compiles a `TOKQ_TRACE`-syntax spec (see module docs).
+    pub fn parse(spec: &str) -> Self {
+        let mut default = Level::Off;
+        let mut per_target = Vec::new();
+        for clause in spec.split(',') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            match clause.split_once('=') {
+                Some((target, level)) => {
+                    per_target.push((target.trim().to_owned(), Level::parse(level)));
+                }
+                None => default = Level::parse(clause),
+            }
+        }
+        let max = per_target
+            .iter()
+            .map(|(_, l)| *l)
+            .chain([default])
+            .max()
+            .unwrap_or(Level::Off);
+        TraceFilter {
+            default,
+            per_target,
+            max: AtomicU8::new(max as u8),
+        }
+    }
+
+    /// Compiles the `TOKQ_TRACE` environment variable; unset means off.
+    pub fn from_env() -> Self {
+        match std::env::var("TOKQ_TRACE") {
+            Ok(spec) => TraceFilter::parse(&spec),
+            Err(_) => TraceFilter::off(),
+        }
+    }
+
+    /// Whether an event at `level` for `target` should be emitted.
+    #[inline]
+    pub fn enabled(&self, target: &str, level: Level) -> bool {
+        if level as u8 > self.max.load(Ordering::Relaxed) {
+            return false;
+        }
+        level <= self.level_for(target)
+    }
+
+    /// The effective level for a target: the last matching clause, or the
+    /// default when no clause names it.
+    pub fn level_for(&self, target: &str) -> Level {
+        self.per_target
+            .iter()
+            .rev()
+            .find(|(t, _)| t == target)
+            .map(|(_, l)| *l)
+            .unwrap_or(self.default)
+    }
+
+    /// The highest level any target can emit at.
+    pub fn max_level(&self) -> Level {
+        Level::from_u8(self.max.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_and_names() {
+        assert!(Level::Off < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+        assert_eq!(Level::parse("DEBUG"), Level::Debug);
+        assert_eq!(Level::parse("bogus"), Level::Trace);
+        assert_eq!(Level::Debug.as_str(), "debug");
+    }
+
+    #[test]
+    fn filter_default_only() {
+        let f = TraceFilter::parse("info");
+        assert!(f.enabled("arbiter", Level::Info));
+        assert!(!f.enabled("arbiter", Level::Debug));
+    }
+
+    #[test]
+    fn filter_per_target_overrides_default() {
+        let f = TraceFilter::parse("info,arbiter=trace,tcp=off");
+        assert!(f.enabled("arbiter", Level::Trace));
+        assert!(f.enabled("node", Level::Info));
+        assert!(!f.enabled("node", Level::Debug));
+        assert!(!f.enabled("tcp", Level::Info));
+        assert_eq!(f.max_level(), Level::Trace);
+    }
+
+    #[test]
+    fn later_clause_wins() {
+        let f = TraceFilter::parse("arbiter=debug,arbiter=off");
+        assert!(!f.enabled("arbiter", Level::Info));
+    }
+
+    #[test]
+    fn off_filter_rejects_everything() {
+        let f = TraceFilter::off();
+        assert!(!f.enabled("anything", Level::Info));
+        assert_eq!(f.max_level(), Level::Off);
+    }
+
+    #[test]
+    fn whitespace_and_empty_clauses_tolerated() {
+        let f = TraceFilter::parse(" info , arbiter = debug ,, ");
+        assert!(f.enabled("arbiter", Level::Debug));
+        assert!(f.enabled("x", Level::Info));
+    }
+}

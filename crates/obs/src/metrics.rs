@@ -1,0 +1,525 @@
+//! Lock-free-on-the-hot-path metrics: counters, gauges, and log-bucketed
+//! latency histograms.
+//!
+//! A [`Registry`] hands out cheap cloneable handles ([`Counter`],
+//! [`Gauge`], [`Histogram`]). Registration takes a short write lock once;
+//! after that every update is a relaxed atomic op on the handle — no map
+//! lookup, no lock, no allocation. Metrics are keyed by a static name
+//! plus an optional static label (e.g. `msg_sent` / `request`), matching
+//! how the protocol's message kinds and note labels are already
+//! `&'static str`.
+//!
+//! Histograms bucket by power of two, so they are fixed-size (65 slots),
+//! mergeable, and give order-of-magnitude-accurate p50/p90/p99 without
+//! storing samples. Durations are recorded in nanoseconds.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use serde::value::Value;
+use tokq_analysis::report::Table;
+
+/// A metric's identity: static name plus optional static label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    name: &'static str,
+    label: &'static str,
+}
+
+impl Key {
+    fn render(&self) -> String {
+        if self.label.is_empty() {
+            self.name.to_owned()
+        } else {
+            format!("{}/{}", self.name, self.label)
+        }
+    }
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// An unregistered counter (for tests or local tallies).
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous-value gauge handle.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// An unregistered gauge.
+    pub fn detached() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two buckets: bucket 0 holds value 0, bucket i holds
+/// values in `[2^(i-1), 2^i)`.
+const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramCore {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A log-bucketed histogram handle (typically latency in nanoseconds).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramCore::new()))
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// The largest value bucket `i` can hold (its reported quantile value).
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An unregistered histogram.
+    pub fn detached() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let core = &self.0;
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(value, Ordering::Relaxed);
+        core.max.fetch_max(value, Ordering::Relaxed);
+        core.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// A point-in-time summary of the recorded distribution.
+    pub fn summary(&self) -> HistogramSummary {
+        let core = &self.0;
+        let counts: Vec<u64> = core
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_upper(i);
+                }
+            }
+            bucket_upper(BUCKETS - 1)
+        };
+        HistogramSummary {
+            count,
+            sum: core.sum.load(Ordering::Relaxed),
+            max: core.max.load(Ordering::Relaxed),
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// Snapshot statistics for one histogram. Quantiles are upper bounds of
+/// the containing power-of-two bucket (≤ 2x overestimate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (exact, not bucketed).
+    pub sum: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+    /// Median, bucket-resolved.
+    pub p50: u64,
+    /// 90th percentile, bucket-resolved.
+    pub p90: u64,
+    /// 99th percentile, bucket-resolved.
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Mean sample value (exact), or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Metrics {
+    counters: HashMap<Key, Counter>,
+    gauges: HashMap<Key, Gauge>,
+    histograms: HashMap<Key, Histogram>,
+}
+
+/// Owns every registered metric; cheap to share via `Arc`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<Metrics>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter `name`, registering it on first use.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.counter_with(name, "")
+    }
+
+    /// The counter `name/label`, registering it on first use.
+    pub fn counter_with(&self, name: &'static str, label: &'static str) -> Counter {
+        let key = Key { name, label };
+        if let Some(c) = self.metrics.read().counters.get(&key) {
+            return c.clone();
+        }
+        self.metrics
+            .write()
+            .counters
+            .entry(key)
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge `name`, registering it on first use.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        let key = Key { name, label: "" };
+        if let Some(g) = self.metrics.read().gauges.get(&key) {
+            return g.clone();
+        }
+        self.metrics.write().gauges.entry(key).or_default().clone()
+    }
+
+    /// The histogram `name`, registering it on first use.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        self.histogram_with(name, "")
+    }
+
+    /// The histogram `name/label`, registering it on first use.
+    pub fn histogram_with(&self, name: &'static str, label: &'static str) -> Histogram {
+        let key = Key { name, label };
+        if let Some(h) = self.metrics.read().histograms.get(&key) {
+            return h.clone();
+        }
+        self.metrics
+            .write()
+            .histograms
+            .entry(key)
+            .or_default()
+            .clone()
+    }
+
+    /// A point-in-time snapshot of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.read();
+        Snapshot {
+            counters: metrics
+                .counters
+                .iter()
+                .map(|(k, c)| (k.render(), c.get()))
+                .collect(),
+            gauges: metrics
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.render(), g.get()))
+                .collect(),
+            histograms: metrics
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.render(), h.summary()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`]'s contents, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by rendered name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by rendered name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by rendered name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl Snapshot {
+    /// Counters and gauges as a two-column report table.
+    pub fn counters_table(&self, title: &str) -> Table {
+        let mut t = Table::new(title, &["metric", "value"]);
+        for (name, v) in &self.counters {
+            t.row(vec![name.clone().into(), (*v).into()]);
+        }
+        for (name, v) in &self.gauges {
+            t.row(vec![name.clone().into(), (*v as f64).into()]);
+        }
+        t
+    }
+
+    /// Histogram summaries as a report table (nanosecond units).
+    pub fn latency_table(&self, title: &str) -> Table {
+        let mut t = Table::new(
+            title,
+            &[
+                "histogram",
+                "count",
+                "mean_ns",
+                "p50_ns",
+                "p90_ns",
+                "p99_ns",
+                "max_ns",
+            ],
+        );
+        for (name, h) in &self.histograms {
+            t.row(vec![
+                name.clone().into(),
+                h.count.into(),
+                h.mean().into(),
+                h.p50.into(),
+                h.p90.into(),
+                h.p99.into(),
+                h.max.into(),
+            ]);
+        }
+        t
+    }
+
+    /// The snapshot as a JSON value (for JSONL metric dumps).
+    pub fn to_value(&self) -> Value {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::U64(*v)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::I64(*v)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    Value::Map(vec![
+                        ("count".to_owned(), Value::U64(h.count)),
+                        ("mean_ns".to_owned(), Value::F64(h.mean())),
+                        ("p50_ns".to_owned(), Value::U64(h.p50)),
+                        ("p90_ns".to_owned(), Value::U64(h.p90)),
+                        ("p99_ns".to_owned(), Value::U64(h.p99)),
+                        ("max_ns".to_owned(), Value::U64(h.max)),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Map(vec![
+            ("counters".to_owned(), Value::Map(counters)),
+            ("gauges".to_owned(), Value::Map(gauges)),
+            ("histograms".to_owned(), Value::Map(histograms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let r = Registry::new();
+        let a = r.counter("hits");
+        let b = r.counter("hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("hits").get(), 3);
+        assert_eq!(r.snapshot().counters["hits"], 3);
+    }
+
+    #[test]
+    fn labelled_counters_are_distinct() {
+        let r = Registry::new();
+        r.counter_with("msg_sent", "request").add(5);
+        r.counter_with("msg_sent", "privilege").add(2);
+        let s = r.snapshot();
+        assert_eq!(s.counters["msg_sent/request"], 5);
+        assert_eq!(s.counters["msg_sent/privilege"], 2);
+    }
+
+    #[test]
+    fn gauge_set_add_sub() {
+        let r = Registry::new();
+        let g = r.gauge("inflight");
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+        assert_eq!(r.snapshot().gauges["inflight"], 12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::detached();
+        // 90 fast samples, 10 slow ones.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 1_000_000);
+        // p50/p90 land in the bucket containing 100 => upper bound 127.
+        assert_eq!(s.p50, 127);
+        assert_eq!(s.p90, 127);
+        // p99 lands in the bucket containing 1e6 => within [2^19, 2^20).
+        assert!(s.p99 >= 1_000_000 && s.p99 < 2_097_152, "p99 = {}", s.p99);
+        assert!((s.mean() - (90.0 * 100.0 + 10.0 * 1e6) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_edge_values() {
+        let h = Histogram::detached();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        let s = h.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.p50, 1);
+        assert_eq!(s.max, u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zeroed() {
+        let s = Histogram::detached().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_tables_render() {
+        let r = Registry::new();
+        r.counter("msgs").add(7);
+        r.gauge("depth").set(-2);
+        r.histogram("lat").record(1000);
+        let s = r.snapshot();
+        let counters = s.counters_table("counters").to_ascii();
+        assert!(counters.contains("msgs") && counters.contains('7'));
+        let lat = s.latency_table("latency").to_csv();
+        assert!(lat.starts_with("histogram,count"));
+        assert!(lat.contains("lat,1"));
+    }
+
+    #[test]
+    fn snapshot_to_value_shape() {
+        let r = Registry::new();
+        r.counter("c").inc();
+        let v = r.snapshot().to_value();
+        let counters = v.get("counters").and_then(Value::as_map).unwrap();
+        assert_eq!(counters[0].0, "c");
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone() {
+        let mut prev = 0;
+        for v in [0u64, 1, 2, 3, 4, 127, 128, 1 << 40, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(b >= prev, "bucket({v}) = {b} < {prev}");
+            assert!(v <= bucket_upper(b));
+            prev = b;
+        }
+    }
+}

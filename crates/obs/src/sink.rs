@@ -1,0 +1,249 @@
+//! Event sinks: where structured events go once the filter passes them.
+//!
+//! [`Sink`] is the pluggable output trait; the crate ships three
+//! implementations and [`crate::Obs`] fans out to any number of them:
+//!
+//! * [`FlightRecorder`] — bounded ring keeping the last N events for
+//!   post-mortem JSONL dumps (always cheap, meant to stay on).
+//! * [`JsonlWriter`] — streams each event as one JSONL line to any
+//!   `Write` (stderr, a file, a test buffer).
+//! * [`CollectSink`] — appends to an in-memory `Vec` for tests.
+
+use std::io::Write;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::event::Event;
+
+/// A destination for structured events.
+///
+/// Implementations must be cheap and non-blocking where possible: `emit`
+/// is called on protocol threads after filtering, with the event already
+/// materialized.
+pub trait Sink: Send + Sync {
+    /// Consumes one event.
+    fn emit(&self, event: &Event);
+}
+
+/// A bounded ring buffer keeping the last N events (the flight recorder).
+///
+/// Intended to run unconditionally: recording is one short mutex-guarded
+/// slot write, and the buffer never grows past its capacity. After an
+/// incident (token loss, arbiter crash), [`FlightRecorder::dump_jsonl`]
+/// returns the tail of protocol history as JSONL, oldest first.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    slots: Vec<Option<Event>>,
+    /// Total events ever recorded; `head % capacity` is the next slot.
+    head: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(FlightRecorder {
+            ring: Mutex::new(Ring {
+                slots: vec![None; capacity.max(1)],
+                head: 0,
+            }),
+        })
+    }
+
+    /// Number of events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        let ring = self.ring.lock();
+        ring.head.min(ring.slots.len() as u64) as usize
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().head == 0
+    }
+
+    /// Total events ever recorded, including overwritten ones.
+    pub fn recorded_total(&self) -> u64 {
+        self.ring.lock().head
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let ring = self.ring.lock();
+        let cap = ring.slots.len() as u64;
+        let start = ring.head.saturating_sub(cap);
+        (start..ring.head)
+            .filter_map(|i| ring.slots[(i % cap) as usize].clone())
+            .collect()
+    }
+
+    /// The retained events as JSONL, oldest first, one event per line.
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.snapshot() {
+            out.push_str(&event.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Discards all retained events.
+    pub fn clear(&self) {
+        let mut ring = self.ring.lock();
+        ring.slots.iter_mut().for_each(|s| *s = None);
+        ring.head = 0;
+    }
+}
+
+impl Sink for FlightRecorder {
+    fn emit(&self, event: &Event) {
+        let mut ring = self.ring.lock();
+        let idx = (ring.head % ring.slots.len() as u64) as usize;
+        ring.slots[idx] = Some(event.clone());
+        ring.head += 1;
+    }
+}
+
+/// Streams each event as one JSONL line to a writer.
+pub struct JsonlWriter<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlWriter<W> {
+    /// Wraps a writer; each emitted event becomes one line.
+    pub fn new(writer: W) -> Arc<Self> {
+        Arc::new(JsonlWriter {
+            writer: Mutex::new(writer),
+        })
+    }
+}
+
+impl JsonlWriter<std::io::Stderr> {
+    /// A JSONL stream to stderr.
+    pub fn stderr() -> Arc<Self> {
+        JsonlWriter::new(std::io::stderr())
+    }
+}
+
+impl<W: Write + Send> std::fmt::Debug for JsonlWriter<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonlWriter")
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlWriter<W> {
+    fn emit(&self, event: &Event) {
+        let line = event.to_jsonl();
+        let mut w = self.writer.lock();
+        // Observability must never take down the observed system; drop
+        // the line on I/O failure.
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+/// Collects events into memory; for tests and short runs.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    pub fn new() -> Arc<Self> {
+        Arc::new(CollectSink::default())
+    }
+
+    /// All events emitted so far, in order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Number of events collected.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether no events were collected.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl Sink for CollectSink {
+    fn emit(&self, event: &Event) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::Level;
+
+    fn ev(name: &str) -> Event {
+        Event::new("t", Level::Info, name)
+    }
+
+    #[test]
+    fn recorder_keeps_last_n() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..5 {
+            rec.emit(&ev(&format!("e{i}")));
+        }
+        let names: Vec<String> = rec.snapshot().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, ["e2", "e3", "e4"]);
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.recorded_total(), 5);
+    }
+
+    #[test]
+    fn recorder_partial_fill_and_clear() {
+        let rec = FlightRecorder::new(8);
+        assert!(rec.is_empty());
+        rec.emit(&ev("only"));
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.dump_jsonl().lines().count(), 1);
+        rec.clear();
+        assert!(rec.is_empty());
+        assert_eq!(rec.dump_jsonl(), "");
+    }
+
+    #[test]
+    fn dump_is_parseable_jsonl() {
+        let rec = FlightRecorder::new(4);
+        rec.emit(&ev("a"));
+        rec.emit(&ev("b"));
+        let dump = rec.dump_jsonl();
+        let parsed: Vec<Event> = dump
+            .lines()
+            .map(|l| Event::from_jsonl(l).unwrap())
+            .collect();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "a");
+        assert_eq!(parsed[1].name, "b");
+    }
+
+    #[test]
+    fn jsonl_writer_streams_lines() {
+        let sink = JsonlWriter::new(Vec::<u8>::new());
+        sink.emit(&ev("x"));
+        sink.emit(&ev("y"));
+        let bytes = sink.writer.lock().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.starts_with('{'));
+    }
+
+    #[test]
+    fn collect_sink_orders_events() {
+        let sink = CollectSink::new();
+        sink.emit(&ev("first"));
+        sink.emit(&ev("second"));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.events()[0].name, "first");
+    }
+}

@@ -61,7 +61,8 @@ pub trait Protocol: Send {
     fn num_nodes(&self) -> usize;
 
     /// Feeds one input; returns the actions to execute, in order.
-    fn step(&mut self, input: Input<Self::Msg, Self::Timer>) -> Vec<Action<Self::Msg, Self::Timer>>;
+    fn step(&mut self, input: Input<Self::Msg, Self::Timer>)
+        -> Vec<Action<Self::Msg, Self::Timer>>;
 
     /// True if this node currently believes it holds the token (or, for
     /// permission-based protocols, is executing its critical section).
@@ -86,7 +87,9 @@ pub trait ProtocolFactory {
 
     /// Builds all `n` instances.
     fn build_all(&self, n: usize) -> Vec<Self::Node> {
-        (0..n).map(|i| self.build(NodeId::from_index(i), n)).collect()
+        (0..n)
+            .map(|i| self.build(NodeId::from_index(i), n))
+            .collect()
     }
 }
 

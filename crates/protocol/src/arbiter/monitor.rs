@@ -92,15 +92,20 @@ impl ArbiterNode {
         out.push(Action::Note(Note::MonitorVisit));
         // Merge stored requests (stale ones filtered against the token).
         let stored = std::mem::take(&mut self.monitor_store);
+        let mut merged = 0u32;
         {
             let tok = self.token.as_mut().expect("monitor_flush requires token");
             tok.via_monitor = false;
             for e in stored {
                 if e.seq > tok.last_granted_for(e.node) && !tok.q.contains(e.node) {
                     tok.q.push_back(e);
+                    merged += 1;
                 }
             }
             tok.round += 1;
+        }
+        if merged > 0 {
+            out.push(Action::Note(Note::MonitorFlush { merged }));
         }
         // Rotate the monitor role if configured (paper §5.1).
         let rotate = self.cfg.monitor.as_ref().is_some_and(|m| m.rotate);

@@ -373,7 +373,13 @@ impl ArbiterNode {
     pub(crate) fn is_stale(&self, requester: NodeId, seq: SeqNum) -> bool {
         match &self.token {
             Some(tok) => seq <= tok.last_granted_for(requester),
-            None => seq <= self.lg_cache.get(requester.index()).copied().unwrap_or(SeqNum::ZERO),
+            None => {
+                seq <= self
+                    .lg_cache
+                    .get(requester.index())
+                    .copied()
+                    .unwrap_or(SeqNum::ZERO)
+            }
         }
     }
 
@@ -398,6 +404,7 @@ impl ArbiterNode {
                 timer: ArbiterTimer::CollectionEnd,
                 after: self.cfg.t_collect,
             });
+            out.push(Action::Note(Note::CollectionOpened));
         }
     }
 
@@ -421,6 +428,9 @@ impl ArbiterNode {
             acted_as_monitor = true;
             if !self.monitor_store.is_empty() {
                 let stored = std::mem::take(&mut self.monitor_store);
+                out.push(Action::Note(Note::MonitorFlush {
+                    merged: stored.len() as u32,
+                }));
                 self.collect.append(stored);
             }
             out.push(Action::Note(Note::MonitorVisit));
@@ -544,12 +554,16 @@ impl ArbiterNode {
             timer: ArbiterTimer::ForwardEnd,
             after: self.cfg.t_forward,
         });
+        out.push(Action::Note(Note::ForwardingOpened { successor: target }));
     }
 
-    fn on_forward_end(&mut self) {
-        self.forwarding_to = None;
+    fn on_forward_end(&mut self, out: &mut Outbox) {
+        if self.forwarding_to.take().is_some() {
+            out.push(Action::Note(Note::ForwardingClosed));
+        }
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the NEW-ARBITER message fields
     fn on_new_arbiter(
         &mut self,
         arbiter: NodeId,
@@ -929,7 +943,7 @@ impl Protocol for ArbiterNode {
             Input::Recover => self.on_recover(),
             Input::Timer(t) => match t {
                 ArbiterTimer::CollectionEnd => self.on_collection_end(&mut out),
-                ArbiterTimer::ForwardEnd => self.on_forward_end(),
+                ArbiterTimer::ForwardEnd => self.on_forward_end(&mut out),
                 ArbiterTimer::TokenWait => self.on_token_wait(&mut out),
                 ArbiterTimer::ArbiterWait => self.on_arbiter_wait(&mut out),
                 ArbiterTimer::EnquiryTimeout => self.on_enquiry_timeout(&mut out),
@@ -953,7 +967,9 @@ impl Protocol for ArbiterNode {
                     counter,
                     epoch,
                     monitor,
-                } => self.on_new_arbiter(arbiter, q, prev, round, counter, epoch, monitor, &mut out),
+                } => {
+                    self.on_new_arbiter(arbiter, q, prev, round, counter, epoch, monitor, &mut out)
+                }
                 ArbiterMsg::MonitorSubmit {
                     requester,
                     seq,
@@ -961,7 +977,9 @@ impl Protocol for ArbiterNode {
                 } => self.on_monitor_submit(requester, seq, priority, &mut out),
                 ArbiterMsg::Warning { round } => self.on_warning(from, round, &mut out),
                 ArbiterMsg::Enquiry { epoch } => self.on_enquiry(from, epoch, &mut out),
-                ArbiterMsg::EnquiryReply { status } => self.on_enquiry_reply(from, status, &mut out),
+                ArbiterMsg::EnquiryReply { status } => {
+                    self.on_enquiry_reply(from, status, &mut out)
+                }
                 ArbiterMsg::Resume => self.on_resume(&mut out),
                 ArbiterMsg::Invalidate { epoch } => self.on_invalidate(epoch, &mut out),
                 ArbiterMsg::Probe => self.on_probe(from, &mut out),

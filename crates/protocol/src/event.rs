@@ -120,6 +120,22 @@ pub enum Note {
     },
     /// The token visited the monitor node (starvation-free variant).
     MonitorVisit,
+    /// The monitor merged its stored stray requests into the token's
+    /// Q-list (the flush half of a monitor visit, paper §4.1).
+    MonitorFlush {
+        /// Stored requests merged into the schedule.
+        merged: u32,
+    },
+    /// An arbiter opened a request collection window (paper §2.1).
+    CollectionOpened,
+    /// An outgoing arbiter opened its request forwarding phase, relaying
+    /// late requests to the successor for `T_fwd` (paper §2.1).
+    ForwardingOpened {
+        /// The successor receiving forwarded requests.
+        successor: NodeId,
+    },
+    /// The forwarding phase timed out; late requests are dropped again.
+    ForwardingClosed,
     /// This node became the arbiter.
     BecameArbiter,
     /// An arbiter finalized a Q-list of the given length (scheduling one
@@ -162,6 +178,10 @@ impl Note {
             Note::RequestRetransmitted { .. } => "request_retransmitted",
             Note::RequestEscalated { .. } => "request_escalated",
             Note::MonitorVisit => "monitor_visit",
+            Note::MonitorFlush { .. } => "monitor_flush",
+            Note::CollectionOpened => "collection_opened",
+            Note::ForwardingOpened { .. } => "forwarding_opened",
+            Note::ForwardingClosed => "forwarding_closed",
             Note::BecameArbiter => "became_arbiter",
             Note::QListSealed { .. } => "qlist_sealed",
             Note::SpuriousGrant => "spurious_grant",
@@ -221,6 +241,12 @@ mod tests {
                 requester: NodeId(0),
             },
             Note::MonitorVisit,
+            Note::MonitorFlush { merged: 1 },
+            Note::CollectionOpened,
+            Note::ForwardingOpened {
+                successor: NodeId(1),
+            },
+            Note::ForwardingClosed,
             Note::BecameArbiter,
             Note::QListSealed { len: 1 },
             Note::SpuriousGrant,

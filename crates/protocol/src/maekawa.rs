@@ -162,8 +162,8 @@ impl MaekawaNode {
             return;
         }
         // Grant the oldest waiting request.
-        let Some(best_idx) = (0..self.wait_q.len())
-            .min_by_key(|&i| Self::ord(self.wait_q[i].0, self.wait_q[i].1))
+        let Some(best_idx) =
+            (0..self.wait_q.len()).min_by_key(|&i| Self::ord(self.wait_q[i].0, self.wait_q[i].1))
         else {
             return;
         };
@@ -181,7 +181,12 @@ impl MaekawaNode {
     }
 
     /// Member role: a new request arrives.
-    fn member_request(&mut self, ts: u64, from: NodeId, out: &mut Vec<Action<MaekawaMsg, NoTimer>>) {
+    fn member_request(
+        &mut self,
+        ts: u64,
+        from: NodeId,
+        out: &mut Vec<Action<MaekawaMsg, NoTimer>>,
+    ) {
         // A newer request from the same node supersedes any stale queued
         // one (the old RELEASE may still be in flight).
         self.wait_q.retain(|&(qts, qn)| !(qn == from && qts < ts));
@@ -387,19 +392,17 @@ impl Protocol for MaekawaNode {
                 }
             }
             Input::Timer(t) => match t {},
-            Input::Deliver { from, msg } => {
-                match msg {
-                    MaekawaMsg::Request { ts } => {
-                        self.clock = self.clock.max(ts) + 1;
-                        self.member_request(ts, from, &mut out);
-                    }
-                    MaekawaMsg::Locked { ts } => self.on_locked(from, ts, &mut out),
-                    MaekawaMsg::Failed { ts } => self.on_failed(from, ts, &mut out),
-                    MaekawaMsg::Inquire { ts } => self.on_inquire(from, ts, &mut out),
-                    MaekawaMsg::Yield { ts } => self.member_yield(ts, from, &mut out),
-                    MaekawaMsg::Release { ts } => self.member_release_for(ts, from, &mut out),
+            Input::Deliver { from, msg } => match msg {
+                MaekawaMsg::Request { ts } => {
+                    self.clock = self.clock.max(ts) + 1;
+                    self.member_request(ts, from, &mut out);
                 }
-            }
+                MaekawaMsg::Locked { ts } => self.on_locked(from, ts, &mut out),
+                MaekawaMsg::Failed { ts } => self.on_failed(from, ts, &mut out),
+                MaekawaMsg::Inquire { ts } => self.on_inquire(from, ts, &mut out),
+                MaekawaMsg::Yield { ts } => self.member_yield(ts, from, &mut out),
+                MaekawaMsg::Release { ts } => self.member_release_for(ts, from, &mut out),
+            },
         }
         out
     }

@@ -168,7 +168,7 @@ impl QList {
     /// Ties keep FCFS order.
     pub fn sort_by_priority(&mut self) {
         let mut v: Vec<Entry> = self.entries.drain(..).collect();
-        v.sort_by(|a, b| b.priority.cmp(&a.priority));
+        v.sort_by_key(|e| std::cmp::Reverse(e.priority));
         self.entries = v.into();
     }
 

@@ -57,7 +57,9 @@ impl RaymondConfig {
         if node.index() == 0 {
             None
         } else {
-            Some(NodeId::from_index((node.index() - 1) / self.branching.max(1)))
+            Some(NodeId::from_index(
+                (node.index() - 1) / self.branching.max(1),
+            ))
         }
     }
 }

@@ -121,8 +121,7 @@ impl Protocol for RaNode {
             Input::Deliver { from, msg } => match msg {
                 RaMsg::Request { ts } => {
                     self.clock = self.clock.max(ts) + 1;
-                    let defer =
-                        self.in_cs || (self.requesting && self.our_request_beats(ts, from));
+                    let defer = self.in_cs || (self.requesting && self.our_request_beats(ts, from));
                     if defer {
                         self.deferred.push(from);
                     } else {
@@ -195,7 +194,7 @@ mod tests {
         let mut b = booted(1, 2);
         a.step(Input::RequestCs); // ts 1 at node 0
         b.step(Input::RequestCs); // ts 1 at node 1
-        // a receives b's request: (1, n0) < (1, n1), so a defers.
+                                  // a receives b's request: (1, n0) < (1, n1), so a defers.
         let acts = a.step(Input::Deliver {
             from: NodeId(1),
             msg: RaMsg::Request { ts: 1 },

@@ -79,8 +79,8 @@ impl ProtocolFactory for SinghalConfig {
     type Node = SinghalNode;
     fn build(&self, id: NodeId, n: usize) -> SinghalNode {
         let mut sv = vec![SiteState::N; n];
-        for j in 0..id.index() {
-            sv[j] = SiteState::R;
+        for slot in sv.iter_mut().take(id.index()) {
+            *slot = SiteState::R;
         }
         let token = if id.index() == 0 {
             sv[0] = SiteState::H;
@@ -329,8 +329,8 @@ mod tests {
     fn concurrent_requesters_learn_about_each_other() {
         let mut a = booted(2, 4);
         a.step(Input::RequestCs); // a now requesting
-        // A request from a node a did not know was requesting: a tells it
-        // about its own request.
+                                  // A request from a node a did not know was requesting: a tells it
+                                  // about its own request.
         let acts = a.step(Input::Deliver {
             from: NodeId(3),
             msg: SinghalMsg::Request { seq: 1 },

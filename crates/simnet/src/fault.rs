@@ -110,9 +110,7 @@ impl FaultPlan {
     /// partition boundary.
     pub fn crosses_partition(&self, a: NodeId, b: NodeId, now: SimTime) -> bool {
         self.partitions.iter().any(|p| {
-            now >= p.from
-                && now < p.until
-                && (p.island.contains(&a) != p.island.contains(&b))
+            now >= p.from && now < p.until && (p.island.contains(&a) != p.island.contains(&b))
         })
     }
 

@@ -203,11 +203,7 @@ impl Report {
     /// Fraction of REQUEST transmissions that were forwards (Figure 5
     /// metric): forwarded hops divided by all REQUEST-kind messages.
     pub fn forwarded_fraction(&self) -> f64 {
-        let requests = self
-            .messages_by_kind
-            .get("REQUEST")
-            .copied()
-            .unwrap_or(0);
+        let requests = self.messages_by_kind.get("REQUEST").copied().unwrap_or(0);
         if requests == 0 {
             return 0.0;
         }

@@ -63,9 +63,9 @@ impl DelayModel {
     pub fn mean(&self) -> TimeDelta {
         match *self {
             DelayModel::Constant(d) => d,
-            DelayModel::Uniform { lo, hi } => TimeDelta::from_secs_f64(
-                (lo.as_secs_f64() + hi.as_secs_f64()) / 2.0,
-            ),
+            DelayModel::Uniform { lo, hi } => {
+                TimeDelta::from_secs_f64((lo.as_secs_f64() + hi.as_secs_f64()) / 2.0)
+            }
             DelayModel::ExponentialTail { base, mean_tail } => base.saturating_add(mean_tail),
         }
     }

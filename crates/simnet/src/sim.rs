@@ -9,6 +9,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
+use tokq_obs::{Obs, Source};
 use tokq_protocol::api::{Protocol, ProtocolFactory, ProtocolMessage};
 use tokq_protocol::event::{Action, Input};
 use tokq_protocol::types::{NodeId, TimeDelta};
@@ -19,7 +20,7 @@ use crate::metrics::{Collector, Report};
 use crate::network::{DelayModel, Unreliability};
 use crate::rng::SimRng;
 use crate::time::SimTime;
-use crate::trace::{Trace, TraceKind};
+use crate::trace::{Trace, TraceEvent, TraceKind};
 
 /// Static parameters of a simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -150,6 +151,7 @@ pub struct Simulation<P: Protocol> {
     timer_gen: HashMap<(u32, P::Timer), u64>,
     collector: Collector,
     trace: Trace,
+    obs: Obs,
     faults: FaultPlan,
     /// Remaining deterministic token drops: (active_from, remaining).
     token_drops: Vec<(SimTime, u32)>,
@@ -202,6 +204,7 @@ impl<P: Protocol> Simulation<P> {
             timer_gen: HashMap::new(),
             collector,
             trace,
+            obs: Obs::disabled(Source::Sim),
             faults: FaultPlan::none(),
             token_drops: Vec::new(),
             cs_holder: None,
@@ -217,6 +220,26 @@ impl<P: Protocol> Simulation<P> {
             sim.schedule_next_arrival(NodeId::from_index(i));
         }
         sim
+    }
+
+    /// Routes every trace record through an observability handle in the
+    /// shared [`tokq_obs`] event schema (stamped with virtual time in the
+    /// [`Source::Sim`] clock domain), and records request-to-grant
+    /// latencies into its `span_ns/cs_grant` histogram — the same metric
+    /// names the threaded runtime uses, so sim and runtime output can be
+    /// compared directly.
+    ///
+    /// Independent of [`SimConfig::trace`]: the in-memory [`Trace`] and
+    /// the obs stream can be enabled separately.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The observability handle events are routed to.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Installs a fault plan (crashes, loss windows, token drops).
@@ -292,6 +315,20 @@ impl<P: Protocol> Simulation<P> {
         });
     }
 
+    /// Records one occurrence into the in-memory trace and, when the obs
+    /// filter (or flight recorder) wants it, the obs stream.
+    fn record(&mut self, node: NodeId, kind: TraceKind) {
+        if self.obs.enabled(kind.target(), kind.level()) {
+            let ev = TraceEvent {
+                at: self.now,
+                node,
+                kind: kind.clone(),
+            };
+            self.obs.emit_at(self.now.as_secs_f64(), ev.to_obs_event());
+        }
+        self.trace.push(self.now, node, kind);
+    }
+
     fn pump(&mut self, stop: impl Fn(&Self) -> bool) {
         if stop(self) {
             return;
@@ -309,8 +346,7 @@ impl<P: Protocol> Simulation<P> {
                 EventKind::Arrival { node } => self.on_arrival(node),
                 EventKind::Deliver { to, from, msg } => {
                     if self.drivers[to.index()].alive {
-                        self.trace.push(
-                            self.now,
+                        self.record(
                             to,
                             TraceKind::Received {
                                 from,
@@ -345,7 +381,7 @@ impl<P: Protocol> Simulation<P> {
         if alive {
             self.collector.arrival();
             d.app_queue.push_back(self.now);
-            self.trace.push(self.now, node, TraceKind::Arrival);
+            self.record(node, TraceKind::Arrival);
         }
         // Open-loop streams keep their own cadence even across crashes;
         // closed-loop streams re-arm at completion instead.
@@ -391,7 +427,7 @@ impl<P: Protocol> Simulation<P> {
             .expect("a node in its CS has an outstanding request");
         self.collector
             .cs_completed(node, arrived_at, requested_at, self.now);
-        self.trace.push(self.now, node, TraceKind::ExitCs);
+        self.record(node, TraceKind::ExitCs);
         self.dispatch(node, Input::CsDone);
         if self.drivers[node.index()].process.pacing() == Pacing::ClosedLoop {
             self.schedule_next_arrival(node);
@@ -411,7 +447,7 @@ impl<P: Protocol> Simulation<P> {
         }
         d.outstanding = None;
         d.app_queue.clear();
-        self.trace.push(self.now, node, TraceKind::Crashed);
+        self.record(node, TraceKind::Crashed);
         self.dispatch(node, Input::Crash);
         self.drivers[node.index()].alive = false;
     }
@@ -422,7 +458,7 @@ impl<P: Protocol> Simulation<P> {
             return;
         }
         d.alive = true;
-        self.trace.push(self.now, node, TraceKind::Recovered);
+        self.record(node, TraceKind::Recovered);
         self.dispatch(node, Input::Recover);
     }
 
@@ -447,11 +483,14 @@ impl<P: Protocol> Simulation<P> {
                     let gen = self.timer_gen.entry((src.0, timer)).or_insert(0);
                     *gen += 1;
                     let gen = *gen;
-                    self.push_event(self.now + after, EventKind::Timer {
-                        node: src,
-                        timer,
-                        gen,
-                    });
+                    self.push_event(
+                        self.now + after,
+                        EventKind::Timer {
+                            node: src,
+                            timer,
+                            gen,
+                        },
+                    );
                 }
                 Action::CancelTimer(timer) => {
                     *self.timer_gen.entry((src.0, timer)).or_insert(0) += 1;
@@ -459,8 +498,7 @@ impl<P: Protocol> Simulation<P> {
                 Action::EnterCs => self.on_enter_cs(src),
                 Action::Note(note) => {
                     self.collector.note(note);
-                    self.trace
-                        .push(self.now, src, TraceKind::Note(note.label().to_owned()));
+                    self.record(src, TraceKind::Note(note.label().to_owned()));
                 }
             }
         }
@@ -488,7 +526,9 @@ impl<P: Protocol> Simulation<P> {
             .outstanding
             .expect("EnterCs without an outstanding request");
         self.collector.cs_entered(requested_at, self.now);
-        self.trace.push(self.now, node, TraceKind::EnterCs);
+        let waited_ns = self.now.since(requested_at).as_nanos();
+        self.obs.record_latency("cs_grant", waited_ns);
+        self.record(node, TraceKind::EnterCs);
         let at = self.now + self.cfg.t_exec;
         self.push_event(at, EventKind::CsExit { node, gen });
     }
@@ -496,8 +536,7 @@ impl<P: Protocol> Simulation<P> {
     fn transmit(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
         let kind = msg.kind();
         self.collector.message(kind);
-        self.trace.push(
-            self.now,
+        self.record(
             from,
             TraceKind::Sent {
                 to,
@@ -579,8 +618,8 @@ mod tests {
     fn warmup_discards_early_sections() {
         let mut cfg = quick(2);
         cfg.warmup_cs = 100;
-        let r = Simulation::build(cfg, CentralConfig::default(), Poisson::new(5.0))
-            .run_until_cs(200);
+        let r =
+            Simulation::build(cfg, CentralConfig::default(), Poisson::new(5.0)).run_until_cs(200);
         assert!(r.cs_total >= 300, "total includes warmup");
         assert!(r.cs_measured >= 200);
         assert!(r.messages_measured < r.messages_total);
@@ -644,8 +683,8 @@ mod tests {
         // regenerate grants.
         let mut cfg = quick(3);
         cfg.unreliability.duplication = 0.3;
-        let r = Simulation::build(cfg, CentralConfig::default(), Poisson::new(2.0))
-            .run_until_cs(300);
+        let r =
+            Simulation::build(cfg, CentralConfig::default(), Poisson::new(2.0)).run_until_cs(300);
         assert!(r.cs_measured >= 300);
     }
 

@@ -14,7 +14,12 @@ fn main() {
     let n = 10;
     let mut table = Table::new(
         "messages per critical section vs load (N=10, paper parameters)",
-        &["lambda_req_per_s", "measured", "eq1_light_bound", "eq4_heavy_bound"],
+        &[
+            "lambda_req_per_s",
+            "measured",
+            "eq1_light_bound",
+            "eq4_heavy_bound",
+        ],
     );
     for lambda in [0.05, 0.2, 0.5, 1.0, 3.0, 10.0] {
         let report = Simulation::build(

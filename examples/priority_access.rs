@@ -18,12 +18,8 @@ fn main() {
         priorities: (0..n as u32).map(Priority).collect(),
         ..ArbiterConfig::basic()
     };
-    let report = Simulation::build(
-        SimConfig::paper_defaults(n),
-        cfg,
-        Workload::saturating(),
-    )
-    .run_until_cs(30_000);
+    let report = Simulation::build(SimConfig::paper_defaults(n), cfg, Workload::saturating())
+        .run_until_cs(30_000);
 
     let mut table = Table::new(
         "prioritized access under saturation (N=6, priority = node id)",

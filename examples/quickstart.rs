@@ -7,13 +7,16 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use tokq::core::{Cluster, NetOptions};
+use tokq::obs::Level;
 use tokq::protocol::arbiter::ArbiterConfig;
 use tokq::protocol::types::TimeDelta;
 
 fn main() {
     // Five nodes running the paper's algorithm on real threads, with 1 ms
     // of simulated network delay between them. Short protocol phases keep
-    // the demo snappy.
+    // the demo snappy. The flight recorder keeps the last protocol events
+    // for a JSONL post-mortem dump; set TOKQ_TRACE=debug (or
+    // `arbiter=debug,net=trace`) to also stream events live.
     let config = ArbiterConfig::fault_tolerant()
         .with_t_collect(TimeDelta::from_millis(2))
         .with_t_forward(TimeDelta::from_millis(2));
@@ -23,6 +26,7 @@ fn main() {
             Duration::from_millis(1),
             Duration::from_micros(200),
         ))
+        .flight_recorder(512, Level::Debug)
         .build();
 
     // A shared value only ever touched inside the distributed lock.
@@ -58,5 +62,36 @@ fn main() {
         m.messages_per_cs()
     );
     println!("message kinds: {:?}", m.by_kind());
+
+    // Latency histograms from the observability registry: how long lock()
+    // callers waited for their grant.
+    let snap = cluster.obs().registry().snapshot();
+    if let Some(h) = snap.histograms.get("span_ns/cs_grant") {
+        println!(
+            "cs_grant wait: p50 ≤ {:.2} ms   p99 ≤ {:.2} ms   max = {:.2} ms",
+            h.p50 as f64 / 1e6,
+            h.p99 as f64 / 1e6,
+            h.max as f64 / 1e6
+        );
+    }
+
+    // The flight recorder holds the most recent protocol events as JSONL —
+    // the same schema the simulator emits, so the two can be diffed.
+    let recorder = cluster.flight_recorder().expect("recorder attached");
+    println!(
+        "\nlast protocol events (of {} recorded):",
+        recorder.recorded_total()
+    );
+    let dump = recorder.dump_jsonl();
+    for line in dump
+        .lines()
+        .rev()
+        .take(8)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+    {
+        println!("  {line}");
+    }
     cluster.shutdown();
 }

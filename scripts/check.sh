@@ -1,0 +1,20 @@
+#!/bin/sh
+# Repository quality gate: formatting, lints, and the tier-1 build+test.
+# Run from anywhere; everything is relative to the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --all-targets -D warnings"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> all checks passed"

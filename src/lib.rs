@@ -15,6 +15,9 @@
 //! * [`workload`] — Poisson/bursty/closed-loop workload generators.
 //! * [`analysis`] — the paper's analytic formulas (Eqs. 1–7), statistics,
 //!   and report formatting.
+//! * [`obs`] — unified observability: structured JSONL event tracing,
+//!   latency histograms, and a post-mortem flight recorder shared by the
+//!   simulator and the runtime (filtered by `TOKQ_TRACE`).
 //!
 //! # Quickstart
 //!
@@ -37,6 +40,7 @@
 
 pub use tokq_analysis as analysis;
 pub use tokq_core as core;
+pub use tokq_obs as obs;
 pub use tokq_protocol as protocol;
 pub use tokq_simnet as simnet;
 pub use tokq_workload as workload;

@@ -21,11 +21,8 @@ fn sim(n: usize, seed: u64) -> SimConfig {
 fn heavy_load_messages_match_eq4() {
     // Eq. 4: M̄ = 3 − 2/N at saturation.
     for n in [5usize, 10, 20] {
-        let r = Algo::Arbiter(ArbiterConfig::basic()).run(
-            sim(n, 21),
-            Workload::saturating(),
-            8_000,
-        );
+        let r =
+            Algo::Arbiter(ArbiterConfig::basic()).run(sim(n, 21), Workload::saturating(), 8_000);
         let predicted = formulas::arbiter_messages_heavy(n);
         let measured = r.messages_per_cs();
         let err = (measured - predicted).abs() / predicted;
@@ -41,11 +38,8 @@ fn light_load_messages_match_eq1() {
     // Eq. 1: M̄ = (N² − 1)/N ≈ N at very light load. Allow 10% — the
     // broadcast-counting optimization differs by ±1 message (DESIGN.md).
     for n in [5usize, 10] {
-        let r = Algo::Arbiter(ArbiterConfig::basic()).run(
-            sim(n, 22),
-            Workload::poisson(0.01),
-            3_000,
-        );
+        let r =
+            Algo::Arbiter(ArbiterConfig::basic()).run(sim(n, 22), Workload::poisson(0.01), 3_000);
         let predicted = formulas::arbiter_messages_light(n);
         let measured = r.messages_per_cs();
         let err = (measured - predicted).abs() / predicted;
@@ -82,11 +76,8 @@ fn arbiter_beats_ricart_agrawala_at_every_load() {
             Workload::poisson(*lambda),
             4_000,
         );
-        let ra = Algo::RicartAgrawala.run(
-            sim(10, 40 + i as u64),
-            Workload::poisson(*lambda),
-            4_000,
-        );
+        let ra =
+            Algo::RicartAgrawala.run(sim(10, 40 + i as u64), Workload::poisson(*lambda), 4_000);
         assert!(
             arb.messages_per_cs() < ra.messages_per_cs(),
             "λ={lambda}: arbiter {:.2} ≥ RA {:.2}",
@@ -111,11 +102,7 @@ fn ricart_agrawala_costs_exactly_2n_minus_2() {
 #[test]
 fn arbiter_beats_raymond_at_heavy_load() {
     // The paper's headline: better than Raymond's ≈4 at high loads.
-    let arb = Algo::Arbiter(ArbiterConfig::basic()).run(
-        sim(10, 51),
-        Workload::saturating(),
-        6_000,
-    );
+    let arb = Algo::Arbiter(ArbiterConfig::basic()).run(sim(10, 51), Workload::saturating(), 6_000);
     let ray = Algo::Raymond.run(sim(10, 52), Workload::saturating(), 6_000);
     assert!(
         arb.messages_per_cs() < ray.messages_per_cs(),
@@ -145,14 +132,10 @@ fn longer_collection_phase_trades_messages_for_delay() {
     // Paper §3.3: "with a longer request collection phase, the average
     // number of messages incurred is lower, but the average delay per
     // critical section is higher" — most visible at moderate load.
-    let short = Algo::Arbiter(
-        ArbiterConfig::basic().with_t_collect(TimeDelta::from_millis(100)),
-    )
-    .run(sim(10, 54), Workload::poisson(0.3), 6_000);
-    let long = Algo::Arbiter(
-        ArbiterConfig::basic().with_t_collect(TimeDelta::from_millis(400)),
-    )
-    .run(sim(10, 54), Workload::poisson(0.3), 6_000);
+    let short = Algo::Arbiter(ArbiterConfig::basic().with_t_collect(TimeDelta::from_millis(100)))
+        .run(sim(10, 54), Workload::poisson(0.3), 6_000);
+    let long = Algo::Arbiter(ArbiterConfig::basic().with_t_collect(TimeDelta::from_millis(400)))
+        .run(sim(10, 54), Workload::poisson(0.3), 6_000);
     assert!(
         long.messages_per_cs() < short.messages_per_cs(),
         "longer T_req must batch more: {:.3} vs {:.3}",
@@ -171,16 +154,10 @@ fn longer_collection_phase_trades_messages_for_delay() {
 fn forwarded_fraction_vanishes_at_heavy_load() {
     // Paper Figure 5: "At very high loads, the fraction of forwarded
     // messages becomes negligible."
-    let light = Algo::Arbiter(ArbiterConfig::basic()).run(
-        sim(10, 55),
-        Workload::poisson(0.05),
-        3_000,
-    );
-    let heavy = Algo::Arbiter(ArbiterConfig::basic()).run(
-        sim(10, 56),
-        Workload::saturating(),
-        6_000,
-    );
+    let light =
+        Algo::Arbiter(ArbiterConfig::basic()).run(sim(10, 55), Workload::poisson(0.05), 3_000);
+    let heavy =
+        Algo::Arbiter(ArbiterConfig::basic()).run(sim(10, 56), Workload::saturating(), 6_000);
     assert!(
         light.forwarded_fraction() > heavy.forwarded_fraction(),
         "forwarding must shrink with load: light {:.4} vs heavy {:.4}",
@@ -202,11 +179,7 @@ fn forwarded_fraction_vanishes_at_heavy_load() {
 
 #[test]
 fn fairness_is_fcfs_uniform() {
-    let r = Algo::Arbiter(ArbiterConfig::basic()).run(
-        sim(10, 57),
-        Workload::poisson(1.0),
-        10_000,
-    );
+    let r = Algo::Arbiter(ArbiterConfig::basic()).run(sim(10, 57), Workload::poisson(1.0), 10_000);
     assert!(
         r.jain_fairness() > 0.98,
         "uniform load must be served evenly, Jain index {:.4}",
@@ -218,11 +191,7 @@ fn fairness_is_fcfs_uniform() {
 fn light_load_delay_matches_eq3_floor() {
     // Eq. 3 with paper parameters and N=10: 0.38 s. Forward-phase drops
     // add a small tail, so check the floor and a generous ceiling.
-    let r = Algo::Arbiter(ArbiterConfig::basic()).run(
-        sim(10, 58),
-        Workload::poisson(0.01),
-        3_000,
-    );
+    let r = Algo::Arbiter(ArbiterConfig::basic()).run(sim(10, 58), Workload::poisson(0.01), 3_000);
     let predicted = formulas::arbiter_delay_light(10, formulas::ModelParams::paper());
     let measured = r.mean_delay();
     assert!(

@@ -227,17 +227,9 @@ fn token_stranded_on_island_is_regenerated() {
         SimTime::from_secs_f64(0.05),
         SimTime::from_secs_f64(400.0),
     );
-    let r = Simulation::build(
-        sim(13),
-        ft(),
-        Workload::only_nodes((1..10).collect(), 0.5),
-    )
-    .with_faults(plan)
-    .run_until_cs(2_000);
+    let r = Simulation::build(sim(13), ft(), Workload::only_nodes((1..10).collect(), 0.5))
+        .with_faults(plan)
+        .run_until_cs(2_000);
     assert!(r.cs_measured >= 2_000, "stranded token never replaced");
-    assert!(
-        r.note_count("token_regenerated") >= 1,
-        "{:?}",
-        r.notes
-    );
+    assert!(r.note_count("token_regenerated") >= 1, "{:?}", r.notes);
 }

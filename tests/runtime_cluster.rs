@@ -82,8 +82,7 @@ fn mutual_exclusion_with_lossy_network_and_recovery() {
     let cluster = Cluster::builder(4)
         .config(quick_ft())
         .net(
-            NetOptions::delayed(Duration::from_micros(300), Duration::from_micros(200))
-                .lossy(0.01),
+            NetOptions::delayed(Duration::from_micros(300), Duration::from_micros(200)).lossy(0.01),
         )
         .build();
     assert_eq!(hammer(&cluster, 10), 40);

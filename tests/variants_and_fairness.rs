@@ -2,9 +2,7 @@
 //! monitor, §5.1 load-balancing, §5.2 priorities, and the §2.4
 //! sequence-number refinement.
 
-use tokq::protocol::arbiter::{
-    ArbiterConfig, Fairness, MonitorConfig, MonitorPeriod,
-};
+use tokq::protocol::arbiter::{ArbiterConfig, Fairness, MonitorConfig, MonitorPeriod};
 use tokq::protocol::types::{Priority, TimeDelta};
 use tokq::simnet::{ExploreConfig, Explorer, SimConfig};
 use tokq::workload::Workload;
@@ -22,11 +20,7 @@ fn monitor_visits_track_load_adaptively() {
     // period to be long, and vice versa" — so monitor visits *per CS* must
     // drop sharply from light to heavy load.
     let cfg = ArbiterConfig::starvation_free();
-    let light = Algo::Arbiter(cfg.clone()).run(
-        sim(10, 70),
-        Workload::poisson(0.1),
-        4_000,
-    );
+    let light = Algo::Arbiter(cfg.clone()).run(sim(10, 70), Workload::poisson(0.1), 4_000);
     let heavy = Algo::Arbiter(cfg).run(sim(10, 71), Workload::saturating(), 4_000);
     let light_rate = light.note_count("monitor_visit") as f64 / light.cs_total as f64;
     let heavy_rate = heavy.note_count("monitor_visit") as f64 / heavy.cs_total as f64;
@@ -135,7 +129,11 @@ fn hotspot_load_balances_arbiter_duty_onto_requesters() {
     assert_eq!(r.per_node_cs[3..].iter().sum::<u64>(), 0);
     let min = r.per_node_cs[..3].iter().min().unwrap();
     let max = r.per_node_cs[..3].iter().max().unwrap();
-    assert!(min * 2 >= *max, "requesters served unevenly: {:?}", r.per_node_cs);
+    assert!(
+        min * 2 >= *max,
+        "requesters served unevenly: {:?}",
+        r.per_node_cs
+    );
 }
 
 #[test]
@@ -167,14 +165,10 @@ fn tuned_forwarding_reduces_drops() {
     // Eq. 7's engineering intent: a forwarding window that covers the
     // NEW-ARBITER broadcast plus a request flight (T_fwd ≥ 2·T_msg)
     // catches the stragglers a short window drops.
-    let short = Algo::Arbiter(
-        ArbiterConfig::basic().with_t_forward(TimeDelta::from_millis(10)),
-    )
-    .run(sim(10, 78), Workload::poisson(0.2), 5_000);
-    let tuned = Algo::Arbiter(
-        ArbiterConfig::basic().with_t_forward(TimeDelta::from_millis(250)),
-    )
-    .run(sim(10, 78), Workload::poisson(0.2), 5_000);
+    let short = Algo::Arbiter(ArbiterConfig::basic().with_t_forward(TimeDelta::from_millis(10)))
+        .run(sim(10, 78), Workload::poisson(0.2), 5_000);
+    let tuned = Algo::Arbiter(ArbiterConfig::basic().with_t_forward(TimeDelta::from_millis(250)))
+        .run(sim(10, 78), Workload::poisson(0.2), 5_000);
     assert!(
         tuned.note_count("request_dropped") < short.note_count("request_dropped"),
         "tuned window must drop fewer: {} vs {}",

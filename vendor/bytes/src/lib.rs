@@ -1,0 +1,267 @@
+//! Offline stand-in for `bytes`.
+//!
+//! [`Bytes`] is an immutable, cheaply-cloneable byte buffer (an `Arc`'d
+//! vector plus a cursor window); [`BytesMut`] is a growable builder that
+//! freezes into one. The [`Buf`]/[`BufMut`] traits carry the big-endian
+//! accessors the workspace's wire codec uses.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Read-side cursor over a contiguous byte buffer.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+    /// Consumes `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.remaining()`.
+    fn advance(&mut self, n: usize);
+
+    /// True while bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than four bytes remain.
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes(self.chunk()[..4].try_into().expect("4 bytes"));
+        self.advance(4);
+        v
+    }
+
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than eight bytes remain.
+    fn get_u64(&mut self) -> u64 {
+        let v = u64::from_be_bytes(self.chunk()[..8].try_into().expect("8 bytes"));
+        self.advance(8);
+        v
+    }
+}
+
+/// Write-side sink for big-endian values.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// An immutable, cheaply-cloneable byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Wraps a static slice (copied; cheapness is not load-bearing here).
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Copies a slice into a fresh buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({:?})", &self[..])
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of Bytes");
+        self.start += n;
+    }
+}
+
+/// A growable byte-buffer builder.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// An empty builder.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_be_values() {
+        let mut out = BytesMut::with_capacity(16);
+        out.put_u8(7);
+        out.put_u32(0xDEAD_BEEF);
+        out.put_u64(42);
+        let mut b = out.freeze();
+        assert_eq!(b.len(), 13);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64(), 42);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let mut c = b.clone();
+        c.advance(1);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(&c[..], &[2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut b = Bytes::from(vec![1]);
+        b.advance(2);
+    }
+}

@@ -1,0 +1,354 @@
+//! Multi-producer multi-consumer channels with blocking, timeout, and
+//! non-blocking receive, mirroring `crossbeam::channel` semantics.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when every receiver is gone; the
+/// unsent message is handed back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty, disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived before the deadline.
+    Timeout,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    cap: Option<usize>,
+    /// Signalled when a message is pushed or the last sender leaves.
+    recv_ready: Condvar,
+    /// Signalled when a message is popped or the last receiver leaves.
+    send_ready: Condvar,
+}
+
+/// The sending half of a channel. Clone freely.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half of a channel. Clone freely.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Creates a channel of unlimited capacity.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_cap(None)
+}
+
+/// Creates a channel holding at most `cap` in-flight messages; sends
+/// block while full. A capacity of zero is treated as one (the workspace
+/// never uses rendezvous channels).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_cap(Some(cap.max(1)))
+}
+
+fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        cap,
+        recv_ready: Condvar::new(),
+        send_ready: Condvar::new(),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Sends `msg`, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message if every receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            match self.chan.cap {
+                Some(cap) if st.queue.len() >= cap => {
+                    st = self
+                        .chan
+                        .send_ready
+                        .wait(st)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                _ => break,
+            }
+        }
+        st.queue.push_back(msg);
+        drop(st);
+        self.chan.recv_ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.senders += 1;
+        drop(st);
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            self.chan.recv_ready.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once the channel is empty and sender-less.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(msg) = st.queue.pop_front() {
+                drop(st);
+                self.chan.send_ready.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .chan
+                .recv_ready
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Blocks until a message arrives or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] on deadline,
+    /// [`RecvTimeoutError::Disconnected`] once empty and sender-less.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now().checked_add(timeout);
+        let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(msg) = st.queue.pop_front() {
+                drop(st);
+                self.chan.send_ready.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let remaining = match deadline {
+                // `Duration::MAX` overflows Instant: wait unboundedly.
+                None => {
+                    st = self
+                        .chan
+                        .recv_ready
+                        .wait(st)
+                        .unwrap_or_else(|e| e.into_inner());
+                    continue;
+                }
+                Some(d) => d.saturating_duration_since(Instant::now()),
+            };
+            if remaining.is_zero() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) = self
+                .chan
+                .recv_ready
+                .wait_timeout(st, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Receives without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when nothing is queued,
+    /// [`TryRecvError::Disconnected`] once empty and sender-less.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(msg) = st.queue.pop_front() {
+            drop(st);
+            self.chan.send_ready.notify_one();
+            return Ok(msg);
+        }
+        if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.receivers += 1;
+        drop(st);
+        Receiver {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            self.chan.send_ready.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_is_observed() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        let (tx2, rx2) = unbounded::<u8>();
+        drop(rx2);
+        assert_eq!(tx2.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn timeout_expires_and_delivers() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Ok(7));
+    }
+
+    #[test]
+    fn duration_max_means_wait_forever() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            tx.send(42).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::MAX), Ok(42));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_receiver() {
+        let (tx, rx) = unbounded();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        drop(tx);
+        let mut got: Vec<i32> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(rx.recv(), Err(RecvError));
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the `crossbeam::channel` surface this workspace uses —
+//! `unbounded`, `bounded`, cloneable `Sender`s, `recv`/`recv_timeout`/
+//! `try_recv`, and matching error types — implemented with a
+//! `Mutex`+`Condvar` queue. Unlike `std::sync::mpsc`, the same `Sender`
+//! type fronts both bounded and unbounded channels (which the workspace
+//! relies on), and receivers are cloneable.
+
+pub mod channel;

@@ -1,0 +1,100 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace's tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`, ranges and tuples as
+//! strategies, `Just`, [`arbitrary::any`], `prop_oneof!`,
+//! `proptest::collection::vec`, `proptest::option::of`, the `proptest!`
+//! test macro, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test RNG (seeded by the test name), there is no
+//! shrinking, and failure persistence files are ignored. A failing case
+//! reports its case index and seed so it can be replayed by rerunning the
+//! test (generation is deterministic).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Unions a list of same-valued strategies, picking one uniformly per
+/// sample. Weighted arms are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` body runs
+/// for `config.cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($cfg) $($rest)*);
+    };
+    (@with_cfg ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident(
+            $($arg:ident in $strat:expr),* $(,)?
+        ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let case_seed = rng.state();
+                    let result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            $(let $arg = $crate::strategy::Strategy::sample(
+                                &$strat, &mut rng);)*
+                            $body
+                        }),
+                    );
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest {}: case {}/{} failed (rng state {:#x})",
+                            stringify!($name), case + 1, config.cases, case_seed,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}

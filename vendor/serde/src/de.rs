@@ -1,0 +1,201 @@
+//! Deserialization: types rebuild themselves from a [`Value`] tree.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::value::Value;
+
+/// Deserialization failure: what was expected, and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// A free-form error.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// "expected X while deserializing Y".
+    pub fn expected(what: &str, ty: &str) -> Self {
+        Error {
+            msg: format!("expected {what} while deserializing {ty}"),
+        }
+    }
+
+    /// An unrecognized enum variant tag.
+    pub fn unknown_variant(tag: &str, ty: &str) -> Self {
+        Error {
+            msg: format!("unknown variant `{tag}` for {ty}"),
+        }
+    }
+
+    /// A missing struct field.
+    pub fn missing_field(field: &str) -> Self {
+        Error {
+            msg: format!("missing field `{field}`"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can rebuild themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses a value tree into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the tree does not have the expected shape.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+/// Reads one struct field out of a map, treating a missing entry like an
+/// explicit `null` (so `Option` fields tolerate omission).
+///
+/// # Errors
+///
+/// Propagates the field type's own deserialization error; a missing
+/// non-nullable field surfaces as that type's "expected ..." error.
+pub fn map_field<T: Deserialize>(map: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deserialize(v),
+        None => T::deserialize(&Value::Null).map_err(|_| Error::missing_field(name)),
+    }
+}
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| Error::expected("unsigned integer", stringify!($t)))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::expected("in-range unsigned integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_i64()
+                    .ok_or_else(|| Error::expected("integer", stringify!($t)))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number", "f64"))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("bool", "bool"))
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::expected("string", "char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::expected("single-character string", "char")),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", "String"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize(v).map(Some)
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::expected("sequence", "Vec"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::expected("sequence", "VecDeque"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_map()
+            .ok_or_else(|| Error::expected("map", "BTreeMap"))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::deserialize(val)?)))
+            .collect()
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($($name:ident . $idx:tt),+; $len:expr)),+ $(,)?) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let s = v.as_seq().ok_or_else(|| Error::expected("sequence", "tuple"))?;
+                if s.len() != $len {
+                    return Err(Error::expected("tuple of matching length", "tuple"));
+                }
+                Ok(($($name::deserialize(&s[$idx])?,)+))
+            }
+        }
+    )+};
+}
+de_tuple!(
+    (A.0; 1),
+    (A.0, B.1; 2),
+    (A.0, B.1, C.2; 3),
+    (A.0, B.1, C.2, D.3; 4),
+);

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so the real serde cannot
+//! be fetched. This shim keeps the workspace's `#[derive(Serialize,
+//! Deserialize)]` and `use serde::{Serialize, Deserialize}` source lines
+//! compiling against a *simplified* data model: serialization produces a
+//! [`value::Value`] tree (JSON-shaped), deserialization consumes one.
+//! `tokq-obs` renders `Value` trees to JSON text and parses them back,
+//! which is all the workspace needs (JSONL reports and round-trip tests).
+//!
+//! Deliberate differences from real serde:
+//! - no `Serializer`/`Deserializer` visitor machinery — one concrete tree;
+//! - no `#[serde(...)]` attributes, no generic derives;
+//! - non-finite floats serialize as `Null` and deserialize as `NaN`
+//!   (mirroring what `serde_json` does to them).
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+#[doc(hidden)]
+pub use serde_derive::{Deserialize, Serialize};

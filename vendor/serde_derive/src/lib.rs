@@ -1,0 +1,398 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unreachable in this build environment, so
+//! the workspace vendors a simplified serde: `Serialize` converts a value
+//! into `serde::value::Value` (a JSON-like tree) and `Deserialize` converts
+//! back. These derives generate those impls for the shapes the workspace
+//! actually uses: named-field structs, unit structs, tuple structs, and
+//! enums whose variants are unit, tuple, or struct-like. Generic types and
+//! `#[serde(...)]` attributes are intentionally unsupported.
+//!
+//! The parser walks the raw `TokenStream` by hand (no `syn`/`quote`,
+//! which would themselves need the network) and emits the impl as a
+//! string, which rustc re-parses.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of one parsed item.
+enum Item {
+    /// `struct Name { a: T, b: U }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Name(T, U);` — `arity` is the field count.
+    TupleStruct { name: String, arity: usize },
+    /// `struct Name;`
+    UnitStruct { name: String },
+    /// `enum Name { ... }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Derives the vendored `serde::ser::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = ident_at(&toks, i).expect("expected `struct` or `enum`");
+    i += 1;
+    let name = ident_at(&toks, i).expect("expected item name");
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types (derive on `{name}`)");
+    }
+    match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_top_level_fields(g.stream()),
+                }
+            }
+            _ => Item::UnitStruct { name },
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("malformed enum body: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+fn ident_at(toks: &[TokenTree], i: usize) -> Option<String> {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances past `#[...]` attributes, doc comments, and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of `{ a: T, b: U }`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_at(&toks, i).expect("expected field name");
+        i += 1;
+        assert!(
+            matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        skip_type(&toks, &mut i);
+        fields.push(name);
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level `,`.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Number of fields in a tuple-struct/tuple-variant body `(T, U, ...)`.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        skip_type(&toks, &mut i);
+        n += 1;
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_at(&toks, i).expect("expected variant name");
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        while i < toks.len() && !matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        if i < toks.len() {
+            i += 1; // the comma
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::from("let mut m = ::std::vec::Vec::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "m.push((\"{f}\".to_string(), ::serde::ser::Serialize::serialize(&self.{f})));\n"
+                ));
+            }
+            body.push_str("::serde::value::Value::Map(m)");
+            impl_ser(name, &body)
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            impl_ser(name, "::serde::ser::Serialize::serialize(&self.0)")
+        }
+        Item::TupleStruct { name, arity } => {
+            let mut body = String::from("let mut s = ::std::vec::Vec::new();\n");
+            for k in 0..*arity {
+                body.push_str(&format!(
+                    "s.push(::serde::ser::Serialize::serialize(&self.{k}));\n"
+                ));
+            }
+            body.push_str("::serde::value::Value::Seq(s)");
+            impl_ser(name, &body)
+        }
+        Item::UnitStruct { name } => impl_ser(name, "::serde::value::Value::Null"),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::value::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::value::Value::Map(vec![(\"{vn}\".to_string(), ::serde::ser::Serialize::serialize(f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let sers: Vec<String> = pats
+                            .iter()
+                            .map(|p| format!("::serde::ser::Serialize::serialize({p})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::value::Value::Map(vec![(\"{vn}\".to_string(), ::serde::value::Value::Seq(vec![{}]))]),\n",
+                            pats.join(", "),
+                            sers.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let pats = fields.join(", ");
+                        let mut inner = String::from("{ let mut m = ::std::vec::Vec::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "m.push((\"{f}\".to_string(), ::serde::ser::Serialize::serialize({f})));\n"
+                            ));
+                        }
+                        inner.push_str("::serde::value::Value::Map(m) }");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {pats} }} => ::serde::value::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),\n"
+                        ));
+                    }
+                }
+            }
+            impl_ser(name, &format!("match self {{\n{arms}\n}}"))
+        }
+    }
+}
+
+fn impl_ser(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl ::serde::ser::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = format!(
+                "let m = v.as_map().ok_or_else(|| ::serde::de::Error::expected(\"map\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                body.push_str(&format!("{f}: ::serde::de::map_field(m, \"{f}\")?,\n"));
+            }
+            body.push_str("})");
+            impl_de(name, &body)
+        }
+        Item::TupleStruct { name, arity: 1 } => impl_de(
+            name,
+            &format!(
+                "::std::result::Result::Ok({name}(::serde::de::Deserialize::deserialize(v)?))"
+            ),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let mut body = format!(
+                "let s = v.as_seq().ok_or_else(|| ::serde::de::Error::expected(\"seq\", \"{name}\"))?;\n\
+                 if s.len() != {arity} {{ return ::std::result::Result::Err(::serde::de::Error::expected(\"{arity}-tuple\", \"{name}\")); }}\n\
+                 ::std::result::Result::Ok({name}(\n"
+            );
+            for k in 0..*arity {
+                body.push_str(&format!(
+                    "::serde::de::Deserialize::deserialize(&s[{k}])?,\n"
+                ));
+            }
+            body.push_str("))");
+            impl_de(name, &body)
+        }
+        Item::UnitStruct { name } => impl_de(name, &format!("::std::result::Result::Ok({name})")),
+        Item::Enum { name, variants } => {
+            let mut str_arms = String::new();
+            let mut map_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => str_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => map_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::de::Deserialize::deserialize(content)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let mut inner = format!(
+                            "{{ let s = content.as_seq().ok_or_else(|| ::serde::de::Error::expected(\"seq\", \"{name}::{vn}\"))?;\n\
+                             if s.len() != {n} {{ return ::std::result::Result::Err(::serde::de::Error::expected(\"{n}-tuple\", \"{name}::{vn}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}(\n"
+                        );
+                        for k in 0..*n {
+                            inner.push_str(&format!(
+                                "::serde::de::Deserialize::deserialize(&s[{k}])?,\n"
+                            ));
+                        }
+                        inner.push_str(")) }");
+                        map_arms.push_str(&format!("\"{vn}\" => {inner},\n"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inner = format!(
+                            "{{ let m = content.as_map().ok_or_else(|| ::serde::de::Error::expected(\"map\", \"{name}::{vn}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "{f}: ::serde::de::map_field(m, \"{f}\")?,\n"
+                            ));
+                        }
+                        inner.push_str("}) }");
+                        map_arms.push_str(&format!("\"{vn}\" => {inner},\n"));
+                    }
+                }
+            }
+            let body = format!(
+                "match v {{\n\
+                 ::serde::value::Value::Str(s) => match s.as_str() {{\n{str_arms}\
+                 other => ::std::result::Result::Err(::serde::de::Error::unknown_variant(other, \"{name}\")),\n}},\n\
+                 ::serde::value::Value::Map(m) if m.len() == 1 => {{\n\
+                 let (tag, content) = &m[0];\n\
+                 match tag.as_str() {{\n{map_arms}\
+                 other => ::std::result::Result::Err(::serde::de::Error::unknown_variant(other, \"{name}\")),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::de::Error::expected(\"string or single-key map\", \"{name}\")),\n\
+                 }}"
+            );
+            impl_de(name, &body)
+        }
+    }
+}
+
+fn impl_de(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl ::serde::de::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
