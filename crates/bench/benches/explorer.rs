@@ -1,0 +1,83 @@
+//! Macrobenchmark: model-checker exploration throughput and the
+//! state-reduction ratio.
+//!
+//! Times the naive enumerator against the stateful search (visited-state
+//! dedup + sleep sets) on the 3-node arbiter at a fixed depth bound, and
+//! asserts the reduction claim after the timed groups: the naive tree has
+//! at least 10× the nodes the reduced search visits for the same coverage.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use tokq_protocol::arbiter::ArbiterConfig;
+use tokq_simnet::{ExploreConfig, Explorer};
+
+/// Both configurations explore the arbiter at this depth; large enough to
+/// make reduction matter, small enough that the naive run stays timeable.
+const DEPTH: usize = 10;
+
+fn naive_cfg() -> ExploreConfig {
+    // The naive tree at this depth is far beyond the state budget; the cap
+    // truncates it, which only *understates* the measured reduction ratio.
+    ExploreConfig {
+        max_depth: DEPTH,
+        max_states: 1_000_000,
+        ..ExploreConfig::naive()
+    }
+}
+
+fn reduced_cfg() -> ExploreConfig {
+    ExploreConfig {
+        max_depth: DEPTH,
+        max_states: 1_000_000,
+        check_deadlock: false,
+        shrink: false,
+        ..ExploreConfig::default()
+    }
+}
+
+fn bench_explorer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("explorer");
+    g.sample_size(10);
+    for (name, cfg) in [("naive", naive_cfg()), ("reduced", reduced_cfg())] {
+        g.bench_with_input(BenchmarkId::new("arbiter_3n_2req", name), &cfg, |b, cfg| {
+            b.iter(|| {
+                std::hint::black_box(
+                    Explorer::new(*cfg)
+                        .check(ArbiterConfig::basic(), 3, &[1, 2])
+                        .expect("arbiter is safe"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn assert_reduction_ratio() {
+    let naive = Explorer::new(naive_cfg())
+        .check(ArbiterConfig::basic(), 3, &[1, 2])
+        .expect("arbiter is safe");
+    let reduced = Explorer::new(reduced_cfg())
+        .check(ArbiterConfig::basic(), 3, &[1, 2])
+        .expect("arbiter is safe");
+    let ratio = naive.states_explored as f64 / reduced.states_explored as f64;
+    println!(
+        "reduction at depth {DEPTH}: naive {} states vs reduced {} states = {ratio:.1}x",
+        naive.states_explored, reduced.states_explored
+    );
+    assert!(
+        ratio >= 10.0,
+        "state reduction regressed below 10x: naive={} reduced={}",
+        naive.states_explored,
+        reduced.states_explored
+    );
+}
+
+criterion_group!(benches, bench_explorer);
+
+// Hand-rolled `criterion_main!` so the ratio assertion runs after the
+// timed groups in both bench and `--test` smoke modes.
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+    assert_reduction_ratio();
+    c.final_summary();
+}

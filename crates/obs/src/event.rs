@@ -90,6 +90,17 @@ impl Event {
         self
     }
 
+    /// The value of the named payload field, if present.
+    ///
+    /// Consumers reconstructing structured records from an event stream
+    /// (e.g. a model-checker [`Schedule`] out of a flight-recorder dump)
+    /// use this to pull typed fields back out with `Deserialize`.
+    ///
+    /// [`Schedule`]: https://docs.rs/tokq-simnet
+    pub fn field_value(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
     /// The event as a JSON value in the JSONL schema.
     pub fn to_value(&self) -> Value {
         let mut entries = vec![

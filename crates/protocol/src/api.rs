@@ -7,9 +7,10 @@ use std::hash::Hash;
 use crate::event::{Action, Input};
 use crate::types::NodeId;
 
-/// A protocol message. Drivers only need to clone, debug-print, and
-/// classify messages for per-kind counters.
-pub trait ProtocolMessage: Clone + Debug + Send + 'static {
+/// A protocol message. Drivers only need to clone, debug-print, hash
+/// (the model checker folds in-flight messages into its state
+/// fingerprints), and classify messages for per-kind counters.
+pub trait ProtocolMessage: Clone + Debug + Hash + Send + 'static {
     /// A stable, human-readable message-kind label (e.g. `"REQUEST"`,
     /// `"PRIVILEGE"`, `"NEW-ARBITER"`) used for the per-kind message
     /// counters that back Figures 3–6.
@@ -72,6 +73,18 @@ pub trait Protocol: Send {
     /// Short algorithm name for reports (e.g. `"arbiter"`,
     /// `"ricart-agrawala"`).
     fn algorithm(&self) -> &'static str;
+
+    /// Feeds a canonical fingerprint of this node's *complete* protocol
+    /// state into `h`.
+    ///
+    /// Two nodes that write the same byte stream must be observationally
+    /// equivalent: identical behaviour on every future input sequence. The
+    /// simnet model checker relies on this for visited-state deduplication,
+    /// so omitting a behaviour-relevant field makes the checker unsound
+    /// (it would prune schedules that are actually distinct). The derive of
+    /// [`std::hash::Hash`] over the full node struct is the recommended
+    /// implementation — a newly added field is then included automatically.
+    fn fingerprint(&self, h: &mut dyn std::hash::Hasher);
 }
 
 /// Constructs the `n` protocol instances of a homogeneous system.
@@ -98,7 +111,7 @@ mod tests {
     use super::*;
     use crate::event::{Action, Input};
 
-    #[derive(Clone, Debug)]
+    #[derive(Clone, Debug, Hash)]
     struct NullMsg;
     impl ProtocolMessage for NullMsg {
         fn kind(&self) -> &'static str {
@@ -131,6 +144,9 @@ mod tests {
         }
         fn algorithm(&self) -> &'static str {
             "null"
+        }
+        fn fingerprint(&self, mut h: &mut dyn std::hash::Hasher) {
+            Hash::hash(&(self.id, self.n), &mut h);
         }
     }
 

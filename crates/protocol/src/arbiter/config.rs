@@ -7,7 +7,7 @@ use crate::arbiter::ArbiterNode;
 use crate::types::{NodeId, Priority, TimeDelta};
 
 /// How an arbiter orders the requests it collected into the Q-list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default, Hash)]
 pub enum Fairness {
     /// First-come-first-served by arrival at the arbiter (paper §2.1: "the
     /// requests are ordered according to their arrival times at the queue").
@@ -25,7 +25,7 @@ pub enum Fairness {
 
 /// How often the token is routed through the monitor node
 /// (starvation-free variant, paper §4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Hash)]
 pub enum MonitorPeriod {
     /// Adaptive period: route to the monitor when the NEW-ARBITER counter
     /// reaches `ceil(average Q-list size)`, the average taken over a moving
@@ -49,7 +49,7 @@ impl Default for MonitorPeriod {
 }
 
 /// Configuration of the starvation-free variant (paper §4.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Hash)]
 pub struct MonitorConfig {
     /// The initial monitor node.
     pub monitor: NodeId,
@@ -76,7 +76,7 @@ impl Default for MonitorConfig {
 }
 
 /// Configuration of failure recovery (paper §6).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Hash)]
 pub struct RecoveryConfig {
     /// Base timeout a scheduled node waits for the token before sending a
     /// WARNING to the arbiter.
@@ -124,7 +124,7 @@ impl Default for RecoveryConfig {
 /// let nodes = ArbiterConfig::default().build_all(5);
 /// assert_eq!(nodes.len(), 5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Hash)]
 pub struct ArbiterConfig {
     /// The node initially designated as arbiter (and initial token holder).
     pub initial_arbiter: NodeId,
@@ -153,6 +153,14 @@ pub struct ArbiterConfig {
     /// "appropriate timeouts may also be used to retransmit a request").
     /// `None` disables the timeout.
     pub request_retry: Option<TimeDelta>,
+    /// **Test-only sabotage switch**: suppress the NEW-ARBITER broadcast
+    /// when sealing a Q-list. This silently breaks the implicit
+    /// acknowledgment of paper §6 — nodes never learn the arbiter moved, so
+    /// requests sent to a stale arbiter are lost and miss-detection never
+    /// fires. It exists solely so the model-checker regression test can
+    /// prove the explorer detects the resulting starvation; never enable it
+    /// in a deployment.
+    pub suppress_new_arbiter: bool,
     /// Starvation-free variant (paper §4.1); `None` = basic algorithm.
     pub monitor: Option<MonitorConfig>,
     /// Failure recovery (paper §6); `None` = fault-free deployment.
@@ -170,6 +178,7 @@ impl Default for ArbiterConfig {
             miss_grace: 2,
             priorities: Vec::new(),
             request_retry: Some(TimeDelta::from_secs(2)),
+            suppress_new_arbiter: false,
             monitor: None,
             recovery: None,
         }

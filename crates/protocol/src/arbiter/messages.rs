@@ -12,7 +12,7 @@ use crate::types::{NodeId, Priority, SeqNum};
 /// `round` (monotone seal counter used to order NEW-ARBITER broadcasts) and
 /// an `epoch` (bumped by token regeneration, paper §6, so that a slow old
 /// token resurfacing after regeneration can be recognized and discarded).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Hash)]
 pub struct Token {
     /// The ordered list of scheduled requesters; head executes next, tail is
     /// the next arbiter.
@@ -62,7 +62,7 @@ impl Token {
 }
 
 /// Reply statuses of the two-phase token invalidation protocol (paper §6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Hash)]
 pub enum TokenStatus {
     /// "I had the token, and have executed my CS."
     HadToken,
@@ -79,7 +79,7 @@ pub enum TokenStatus {
 ///
 /// The three basic messages are exactly the paper's (§2.1); the remainder
 /// implement the starvation-free variant (§4.1) and recovery (§6).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Hash)]
 pub enum ArbiterMsg {
     /// `REQUEST(j, n)`: node `requester` wants its `seq`-th critical
     /// section. `hops` counts forwarding steps (0 = sent directly).

@@ -43,7 +43,7 @@ pub(crate) type Outbox = Vec<Action<ArbiterMsg, ArbiterTimer>>;
 /// let actions = node.step(Input::Timer(ArbiterTimer::CollectionEnd));
 /// assert!(actions.iter().any(|a| matches!(a, Action::EnterCs)));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct ArbiterNode {
     pub(crate) id: NodeId,
     pub(crate) n: usize,
@@ -499,18 +499,20 @@ impl ArbiterNode {
         } else {
             Vec::new()
         };
-        out.push(Action::Broadcast {
-            msg: ArbiterMsg::NewArbiter {
-                arbiter: new_arbiter,
-                q: q_for_broadcast.clone(),
-                prev: self.id,
-                round,
-                counter: self.na_counter,
-                epoch,
-                monitor: self.monitor_cur,
-            },
-            except,
-        });
+        if !self.cfg.suppress_new_arbiter {
+            out.push(Action::Broadcast {
+                msg: ArbiterMsg::NewArbiter {
+                    arbiter: new_arbiter,
+                    q: q_for_broadcast.clone(),
+                    prev: self.id,
+                    round,
+                    counter: self.na_counter,
+                    epoch,
+                    monitor: self.monitor_cur,
+                },
+                except,
+            });
+        }
         self.last_round = round;
         self.last_q_seen = q_for_broadcast;
         self.prev_arbiter = self.id;
@@ -1001,5 +1003,9 @@ impl Protocol for ArbiterNode {
         } else {
             "arbiter"
         }
+    }
+
+    fn fingerprint(&self, mut h: &mut dyn std::hash::Hasher) {
+        std::hash::Hash::hash(self, &mut h);
     }
 }

@@ -10,7 +10,7 @@ use crate::qlist::QList;
 use crate::types::NodeId;
 
 /// Progress of the two-phase token invalidation protocol at the arbiter.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
 pub(crate) enum RecoveryState {
     /// Normal operation.
     #[default]

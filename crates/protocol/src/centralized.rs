@@ -18,7 +18,7 @@ use crate::types::NodeId;
 /// Grants carry a generation number echoed by the release, so duplicated
 /// messages (a re-delivered RELEASE racing a re-grant to the same node)
 /// cannot double-free the coordinator's grant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Hash)]
 pub enum CentralMsg {
     /// A node asks the coordinator for the critical section.
     Request,
@@ -45,7 +45,7 @@ impl ProtocolMessage for CentralMsg {
 }
 
 /// Configuration (and [`ProtocolFactory`]) for the centralized protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Hash)]
 pub struct CentralConfig {
     /// The coordinator node.
     pub coordinator: NodeId,
@@ -78,7 +78,7 @@ impl ProtocolFactory for CentralConfig {
 }
 
 /// A node of the centralized protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct CentralNode {
     id: NodeId,
     n: usize,
@@ -209,6 +209,10 @@ impl Protocol for CentralNode {
 
     fn algorithm(&self) -> &'static str {
         "centralized"
+    }
+
+    fn fingerprint(&self, mut h: &mut dyn std::hash::Hasher) {
+        std::hash::Hash::hash(self, &mut h);
     }
 }
 

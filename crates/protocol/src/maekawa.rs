@@ -27,7 +27,7 @@ use crate::types::NodeId;
 /// published algorithm implicitly assumes FIFO channels, and the tags make
 /// it robust to arbitrary reordering (a stale LOCKED or RELEASE is
 /// recognizable and either ignored or answered with a reclamation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Hash)]
 pub enum MaekawaMsg {
     /// Ask a quorum member for its (single) vote.
     Request {
@@ -77,7 +77,7 @@ impl ProtocolMessage for MaekawaMsg {
 
 /// Configuration (and [`ProtocolFactory`]) for Maekawa's algorithm with
 /// grid quorums.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize, Hash)]
 pub struct MaekawaConfig;
 
 impl MaekawaConfig {
@@ -129,7 +129,7 @@ impl ProtocolFactory for MaekawaConfig {
 
 /// A node of Maekawa's algorithm. One struct plays both roles: requester
 /// (collecting its quorum's votes) and quorum member (casting one vote).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct MaekawaNode {
     id: NodeId,
     n: usize,
@@ -413,6 +413,10 @@ impl Protocol for MaekawaNode {
 
     fn algorithm(&self) -> &'static str {
         "maekawa"
+    }
+
+    fn fingerprint(&self, mut h: &mut dyn std::hash::Hasher) {
+        std::hash::Hash::hash(self, &mut h);
     }
 }
 

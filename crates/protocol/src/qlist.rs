@@ -69,7 +69,7 @@ impl Entry {
 /// assert_eq!(q.pop_head().unwrap().node, NodeId(2));
 /// assert_eq!(q.head(), Some(NodeId(5)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize, Hash)]
 pub struct QList {
     entries: VecDeque<Entry>,
 }

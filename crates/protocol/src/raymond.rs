@@ -16,7 +16,7 @@ use crate::event::{Action, Input};
 use crate::types::NodeId;
 
 /// Messages of Raymond's algorithm (tree-neighbor hop granularity).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Hash)]
 pub enum RaymondMsg {
     /// Ask the neighbor closer to the token to send it this way.
     Request,
@@ -38,7 +38,7 @@ impl ProtocolMessage for RaymondMsg {
 /// Nodes are arranged in a complete `branching`-ary tree rooted at node 0
 /// (node `i > 0` has parent `(i − 1) / branching`); node 0 initially holds
 /// the token.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Hash)]
 pub struct RaymondConfig {
     /// Tree branching factor (≥ 1). 2 gives the balanced binary tree used
     /// in Raymond's own analysis.
@@ -81,7 +81,7 @@ impl ProtocolFactory for RaymondConfig {
 }
 
 /// A node of Raymond's algorithm.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct RaymondNode {
     id: NodeId,
     n: usize,
@@ -183,6 +183,10 @@ impl Protocol for RaymondNode {
 
     fn algorithm(&self) -> &'static str {
         "raymond"
+    }
+
+    fn fingerprint(&self, mut h: &mut dyn std::hash::Hasher) {
+        std::hash::Hash::hash(self, &mut h);
     }
 }
 

@@ -13,7 +13,7 @@ use crate::event::{Action, Input};
 use crate::types::NodeId;
 
 /// Messages of the Ricart–Agrawala algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Hash)]
 pub enum RaMsg {
     /// Timestamped request for the critical section.
     Request {
@@ -34,7 +34,7 @@ impl ProtocolMessage for RaMsg {
 }
 
 /// Configuration (and [`ProtocolFactory`]) for Ricart–Agrawala.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize, Hash)]
 pub struct RaConfig;
 
 impl ProtocolFactory for RaConfig {
@@ -54,7 +54,7 @@ impl ProtocolFactory for RaConfig {
 }
 
 /// A node of the Ricart–Agrawala algorithm.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct RaNode {
     id: NodeId,
     n: usize,
@@ -151,6 +151,10 @@ impl Protocol for RaNode {
 
     fn algorithm(&self) -> &'static str {
         "ricart-agrawala"
+    }
+
+    fn fingerprint(&self, mut h: &mut dyn std::hash::Hasher) {
+        std::hash::Hash::hash(self, &mut h);
     }
 }
 

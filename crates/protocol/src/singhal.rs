@@ -15,7 +15,7 @@ use crate::event::{Action, Input};
 use crate::types::NodeId;
 
 /// A node's belief about another node (Singhal's `SV` entries).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Hash)]
 pub enum SiteState {
     /// Not requesting.
     N,
@@ -28,7 +28,7 @@ pub enum SiteState {
 }
 
 /// The token of Singhal's algorithm.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Hash)]
 pub struct SinghalToken {
     /// `TSV[j]`: the token's view of node `j`'s state (`N` or `R`).
     pub tsv: Vec<SiteState>,
@@ -47,7 +47,7 @@ impl SinghalToken {
 }
 
 /// Messages of Singhal's algorithm.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Hash)]
 pub enum SinghalMsg {
     /// `REQUEST(i, sn)`.
     Request {
@@ -72,7 +72,7 @@ impl ProtocolMessage for SinghalMsg {
 /// Node 0 initially holds the token; node `i` is initialized with the
 /// staircase pattern `SV[j] = R` for `j < i` that guarantees requests can
 /// always reach the token.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize, Hash)]
 pub struct SinghalConfig;
 
 impl ProtocolFactory for SinghalConfig {
@@ -101,7 +101,7 @@ impl ProtocolFactory for SinghalConfig {
 }
 
 /// A node of Singhal's dynamic algorithm.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct SinghalNode {
     id: NodeId,
     n: usize,
@@ -253,6 +253,10 @@ impl Protocol for SinghalNode {
 
     fn algorithm(&self) -> &'static str {
         "singhal"
+    }
+
+    fn fingerprint(&self, mut h: &mut dyn std::hash::Hasher) {
+        std::hash::Hash::hash(self, &mut h);
     }
 }
 

@@ -16,7 +16,7 @@ use crate::event::{Action, Input};
 use crate::types::NodeId;
 
 /// The Suzuki–Kasami token.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Hash)]
 pub struct SkToken {
     /// `LN[j]`: sequence number of node `j`'s most recently granted request.
     pub ln: Vec<u64>,
@@ -35,7 +35,7 @@ impl SkToken {
 }
 
 /// Messages of the Suzuki–Kasami algorithm.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Hash)]
 pub enum SkMsg {
     /// `REQUEST(j, n)` broadcast by requester `j` with sequence number `n`.
     Request {
@@ -56,7 +56,7 @@ impl ProtocolMessage for SkMsg {
 }
 
 /// Configuration (and [`ProtocolFactory`]) for Suzuki–Kasami.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Hash)]
 pub struct SkConfig {
     /// The node initially holding the token.
     pub initial_holder: NodeId,
@@ -90,7 +90,7 @@ impl ProtocolFactory for SkConfig {
 }
 
 /// A node of the Suzuki–Kasami algorithm.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct SkNode {
     id: NodeId,
     n: usize,
@@ -204,6 +204,10 @@ impl Protocol for SkNode {
 
     fn algorithm(&self) -> &'static str {
         "suzuki-kasami"
+    }
+
+    fn fingerprint(&self, mut h: &mut dyn std::hash::Hasher) {
+        std::hash::Hash::hash(self, &mut h);
     }
 }
 

@@ -223,3 +223,57 @@ mod tests {
         assert_eq!(plan.extra_loss_at(SimTime::from_secs_f64(7.0)), 0.1);
     }
 }
+
+/// True for message kinds that carry the token (or a privilege grant) on
+/// the wire. These are the messages whose loss the paper's §6 recovery
+/// machinery exists to survive, and the ones the model checker refuses to
+/// *duplicate* (delivering two copies of the token breaks the network
+/// assumption every token-based protocol is specified under).
+pub fn is_token_kind(kind: &str) -> bool {
+    kind == "PRIVILEGE" || kind == "TOKEN"
+}
+
+/// Budgeted fault branching for the model checker ([`crate::explore`]).
+///
+/// Where [`FaultPlan`] injects *scripted* faults at fixed virtual times
+/// into one simulated execution, `FaultBudget` bounds how many faults of
+/// each class the explorer may inject *anywhere*: at every decision level
+/// the checker also branches on crashing a node, recovering a crashed one,
+/// dropping an in-flight token message, or duplicating a non-token
+/// message, as long as the matching budget is not yet spent along the
+/// current path. Budgets are per-path, so `crashes: 1` means "every
+/// schedule containing at most one crash", not one crash total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct FaultBudget {
+    /// Node crashes the explorer may inject along one path.
+    pub crashes: u32,
+    /// Recoveries of crashed nodes the explorer may inject along one path.
+    pub recoveries: u32,
+    /// In-flight message drops (token-carrying messages only, unless
+    /// [`FaultBudget::drop_any`] is set).
+    pub drops: u32,
+    /// In-flight message duplications. Token-carrying messages are never
+    /// duplicated: protocols are specified under an at-most-once token
+    /// delivery assumption, so a duplicated token is a driver bug, not a
+    /// protocol bug.
+    pub duplicates: u32,
+    /// Widen [`FaultBudget::drops`] to every message kind instead of just
+    /// token carriers.
+    pub drop_any: bool,
+}
+
+impl FaultBudget {
+    /// No fault injection (the default).
+    pub const NONE: FaultBudget = FaultBudget {
+        crashes: 0,
+        recoveries: 0,
+        drops: 0,
+        duplicates: 0,
+        drop_any: false,
+    };
+
+    /// True if at least one budget class is non-zero.
+    pub fn any(&self) -> bool {
+        self.crashes > 0 || self.recoveries > 0 || self.drops > 0 || self.duplicates > 0
+    }
+}

@@ -38,16 +38,20 @@ pub mod explore;
 pub mod fault;
 pub mod metrics;
 pub mod network;
+pub mod replay;
 pub mod rng;
 pub mod sim;
 pub mod time;
 pub mod trace;
 
 pub use arrivals::{ArrivalProcess, ClosedLoop, Poisson, Scripted, WorkloadSpec};
-pub use explore::{ExploreConfig, Explorer};
-pub use fault::{Fault, FaultPlan, Partition};
+pub use explore::{
+    shrink_schedule, ExploreConfig, ExploreStats, Explorer, Violation, ViolationKind,
+};
+pub use fault::{Fault, FaultBudget, FaultPlan, Partition};
 pub use metrics::Report;
 pub use network::{DelayModel, Unreliability};
+pub use replay::{random_schedule, replay, Replay, ReplayStep, Schedule, Step};
 pub use rng::SimRng;
 pub use sim::{SimConfig, Simulation};
 pub use time::SimTime;

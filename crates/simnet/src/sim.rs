@@ -544,7 +544,7 @@ impl<P: Protocol> Simulation<P> {
             },
         );
         // Deterministic token-drop injection (paper §6's lost-token case).
-        if kind == "PRIVILEGE" || kind == "TOKEN" {
+        if crate::fault::is_token_kind(kind) {
             for drop in &mut self.token_drops {
                 if self.now >= drop.0 && drop.1 > 0 {
                     drop.1 -= 1;

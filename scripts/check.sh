@@ -17,4 +17,7 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> model-checker smoke: bounded exploration of arbiter + baselines"
+cargo run --release --quiet --example explore_smoke
+
 echo "==> all checks passed"

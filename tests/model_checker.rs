@@ -1,0 +1,284 @@
+//! End-to-end tests of the stateful model checker: reduction soundness,
+//! the ≥10× reduction claim, fault branching, counterexample shrinking on
+//! a deliberately broken arbiter, and the record/replay workflow through
+//! the flight recorder.
+
+use tokq::obs::{Level, Obs, Source, TraceFilter};
+use tokq::protocol::arbiter::ArbiterConfig;
+use tokq::protocol::ricart_agrawala::RaConfig;
+use tokq::protocol::suzuki_kasami::SkConfig;
+use tokq::simnet::{
+    random_schedule, replay, ExploreConfig, Explorer, FaultBudget, Schedule, Violation,
+    ViolationKind,
+};
+
+/// The §6-sabotaged arbiter: sealing a Q-list without broadcasting
+/// NEW-ARBITER silently loses every request addressed to the stale
+/// arbiter, and with the retry timeout disabled nothing ever recovers it.
+fn broken_arbiter() -> ArbiterConfig {
+    ArbiterConfig {
+        suppress_new_arbiter: true,
+        request_retry: None,
+        ..ArbiterConfig::basic()
+    }
+}
+
+#[test]
+fn reduced_search_covers_the_same_states_as_naive() {
+    // Reduction soundness, differentially: the naive enumerator and the
+    // dedup+sleep-set search must visit the *same set* of protocol-state
+    // fingerprints when both run unbounded within the depth limit.
+    let depth = |d| ExploreConfig {
+        max_depth: d,
+        check_deadlock: false,
+        ..ExploreConfig::default()
+    };
+    for (label, d) in [("ricart-agrawala", 12), ("suzuki-kasami", 12)] {
+        let naive_cfg = ExploreConfig {
+            shrink: false,
+            ..ExploreConfig::naive()
+        };
+        let naive_cfg = ExploreConfig {
+            max_depth: d,
+            ..naive_cfg
+        };
+        let (naive, reduced) = match label {
+            "ricart-agrawala" => (
+                Explorer::new(naive_cfg).check_with_fingerprints(&RaConfig, 3, &[0, 1]),
+                Explorer::new(depth(d)).check_with_fingerprints(&RaConfig, 3, &[0, 1]),
+            ),
+            _ => (
+                Explorer::new(naive_cfg).check_with_fingerprints(&SkConfig::default(), 3, &[1, 2]),
+                Explorer::new(depth(d)).check_with_fingerprints(&SkConfig::default(), 3, &[1, 2]),
+            ),
+        };
+        let (naive_result, naive_fps) = naive;
+        let (reduced_result, reduced_fps) = reduced;
+        let naive_stats = naive_result.unwrap_or_else(|v| panic!("{label} naive: {v}"));
+        let reduced_stats = reduced_result.unwrap_or_else(|v| panic!("{label} reduced: {v}"));
+        assert!(
+            !naive_stats.truncated,
+            "{label}: naive run must be exhaustive"
+        );
+        assert!(!reduced_stats.truncated);
+        assert_eq!(
+            naive_fps, reduced_fps,
+            "{label}: reduction changed the set of reachable protocol states"
+        );
+        assert!(
+            reduced_stats.states_explored <= naive_stats.states_explored,
+            "{label}: reduction explored more states than naive"
+        );
+    }
+}
+
+#[test]
+fn reduction_is_at_least_10x_on_the_arbiter() {
+    // The acceptance benchmark, as a loose assertion: on the 3-node
+    // arbiter the naive enumerator needs ≥10× the states the reduced
+    // search needs for the same depth bound. (The naive run is truncated
+    // by its state budget — which only *understates* the true ratio.)
+    let naive = Explorer::new(ExploreConfig {
+        max_depth: 12,
+        max_states: 1_000_000,
+        ..ExploreConfig::naive()
+    })
+    .check(ArbiterConfig::basic(), 3, &[1, 2])
+    .expect("arbiter is safe");
+    let reduced = Explorer::new(ExploreConfig {
+        max_depth: 12,
+        max_states: 1_000_000,
+        check_deadlock: false,
+        ..ExploreConfig::default()
+    })
+    .check(ArbiterConfig::basic(), 3, &[1, 2])
+    .expect("arbiter is safe");
+    assert!(
+        !reduced.truncated,
+        "reduced search must finish exhaustively"
+    );
+    assert!(
+        naive.states_explored >= 10 * reduced.states_explored,
+        "expected ≥10x reduction, got naive={} reduced={}",
+        naive.states_explored,
+        reduced.states_explored
+    );
+    assert!(reduced.dedup_hits > 0);
+    assert!(reduced.sleep_pruned > 0);
+}
+
+#[test]
+fn healthy_arbiter_has_no_deadlock_in_bounded_space() {
+    // Same bounds as the broken-arbiter test below: the deadlock must be
+    // attributable to the sabotage, not to the detector.
+    Explorer::new(ExploreConfig {
+        max_depth: 20,
+        max_states: 500_000,
+        ..ExploreConfig::default()
+    })
+    .check(ArbiterConfig::basic(), 3, &[1, 2])
+    .expect("the real algorithm must not deadlock");
+}
+
+#[test]
+fn broken_arbiter_is_caught_with_a_shrunk_replayable_counterexample() {
+    let violation = Explorer::new(ExploreConfig {
+        max_depth: 20,
+        max_states: 500_000,
+        ..ExploreConfig::default()
+    })
+    .check(broken_arbiter(), 3, &[1, 2])
+    .expect_err("suppressing NEW-ARBITER must starve a requester");
+
+    let ViolationKind::Deadlock { starving } = &violation.kind else {
+        panic!("expected a deadlock, got {violation}");
+    };
+    assert!(!starving.is_empty());
+
+    // The shrunk counterexample is locally minimal — and concretely small:
+    // collect-timer seal between the two request deliveries, a forward
+    // phase that expires before the second request lands, done in 7 steps.
+    assert!(
+        violation.schedule.steps.len() <= 10,
+        "shrunk schedule still has {} steps: {:?}",
+        violation.schedule.steps.len(),
+        violation.schedule.steps
+    );
+
+    // Deterministic replay reproduces it exactly, with every step
+    // applicable, and removing any single step breaks the reproduction
+    // (local minimality).
+    let rep = replay(&broken_arbiter(), &violation.schedule);
+    assert!(rep.reproduces(&violation.kind));
+    assert!(
+        rep.skipped.is_empty(),
+        "shrunk schedule must replay cleanly"
+    );
+    for i in 0..violation.schedule.steps.len() {
+        let mut cand = violation.schedule.clone();
+        cand.steps.remove(i);
+        assert!(
+            !replay(&broken_arbiter(), &cand).reproduces(&violation.kind),
+            "schedule not minimal: step {i} is removable"
+        );
+    }
+}
+
+#[test]
+fn replay_is_deterministic_bit_for_bit() {
+    let violation = Explorer::new(ExploreConfig {
+        max_depth: 20,
+        max_states: 500_000,
+        ..ExploreConfig::default()
+    })
+    .check(broken_arbiter(), 3, &[1, 2])
+    .expect_err("broken arbiter deadlocks");
+    let a = replay(&broken_arbiter(), &violation.schedule);
+    let b = replay(&broken_arbiter(), &violation.schedule);
+    assert_eq!(a, b, "two replays of one schedule must be identical");
+    assert!(a
+        .steps
+        .iter()
+        .all(|s| !s.events.is_empty() || s.step.is_fault()));
+}
+
+#[test]
+fn violation_schedule_round_trips_through_the_flight_recorder() {
+    // The record/replay workflow end to end: explorer emits through obs →
+    // flight recorder → JSONL dump → Schedule::from_jsonl → replay.
+    let obs = Obs::with_filter(Source::Sim, TraceFilter::with_default(Level::Debug));
+    let recorder = obs.attach_flight_recorder(256, Level::Debug);
+
+    let violation = Explorer::new(ExploreConfig {
+        max_depth: 20,
+        max_states: 500_000,
+        ..ExploreConfig::default()
+    })
+    .with_obs(obs)
+    .check(broken_arbiter(), 3, &[1, 2])
+    .expect_err("broken arbiter deadlocks");
+
+    // From the snapshot...
+    let from_events = Schedule::from_events(&recorder.snapshot())
+        .expect("schedule reconstructs from recorder snapshot");
+    assert_eq!(from_events, violation.schedule);
+
+    // ...and from the raw JSONL dump, unfiltered.
+    let dump = recorder.dump_jsonl();
+    let from_jsonl = Schedule::from_jsonl(&dump).expect("schedule reconstructs from JSONL");
+    assert_eq!(from_jsonl, violation.schedule);
+
+    // The reconstructed schedule drives a faithful replay.
+    let rep = replay(&broken_arbiter(), &from_jsonl);
+    assert!(rep.reproduces(&violation.kind));
+    assert!(rep.skipped.is_empty());
+}
+
+#[test]
+fn fault_branching_finds_no_safety_violation_in_token_algorithms() {
+    // One crash + one recovery + one token drop (and duplication of
+    // non-token messages): safety must hold for the fault-tolerant
+    // arbiter and Suzuki–Kasami in the explored envelope. Liveness is
+    // deliberately out of scope on faulty paths.
+    let budget = FaultBudget {
+        crashes: 1,
+        recoveries: 1,
+        drops: 1,
+        duplicates: 1,
+        drop_any: false,
+    };
+    let cfg = ExploreConfig {
+        max_depth: 10,
+        max_states: 60_000,
+        check_deadlock: false,
+        ..ExploreConfig::default()
+    }
+    .with_faults(budget);
+
+    let stats = Explorer::new(cfg)
+        .check(ArbiterConfig::fault_tolerant(), 3, &[1, 2])
+        .expect("fault-tolerant arbiter must stay safe under injected faults");
+    assert!(stats.fault_branches > 0, "no fault branches were explored");
+
+    let stats = Explorer::new(cfg)
+        .check(SkConfig::default(), 3, &[1, 2])
+        .expect("Suzuki–Kasami must stay safe under injected faults");
+    assert!(stats.fault_branches > 0);
+}
+
+#[test]
+fn random_schedules_replay_without_skips() {
+    // `random_schedule` only ever picks enabled steps, so its output must
+    // replay cleanly — the precondition the shrinker's tolerance relies
+    // on being the *exception*, not the rule.
+    let choices: Vec<u16> = (0..40u16).map(|i| i.wrapping_mul(7919)).collect();
+    for faults in [
+        FaultBudget::NONE,
+        FaultBudget {
+            crashes: 1,
+            ..FaultBudget::NONE
+        },
+    ] {
+        let schedule = random_schedule(&ArbiterConfig::basic(), 3, &[1, 2], faults, &choices);
+        let rep = replay(&ArbiterConfig::basic(), &schedule);
+        assert!(rep.skipped.is_empty(), "skipped: {:?}", rep.skipped);
+        assert!(
+            rep.violation.is_none(),
+            "arbiter violated safety in a replay"
+        );
+    }
+}
+
+#[test]
+fn violation_display_names_the_failure() {
+    let violation: Violation = Explorer::new(ExploreConfig {
+        max_depth: 20,
+        max_states: 500_000,
+        ..ExploreConfig::default()
+    })
+    .check(broken_arbiter(), 3, &[1, 2])
+    .expect_err("broken arbiter deadlocks");
+    let msg = violation.to_string();
+    assert!(msg.contains("deadlock"), "{msg}");
+    assert!(msg.contains("starve"), "{msg}");
+}

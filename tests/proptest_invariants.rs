@@ -175,6 +175,39 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Model-checker schedules: any valid schedule survives the JSONL
+// round-trip and replays deterministically.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A schedule generated by a random valid walk, serialized to the
+    /// flight-recorder JSONL schema and parsed back, is the identical
+    /// schedule — and both copies replay to bit-identical traces.
+    #[test]
+    fn schedule_jsonl_roundtrip_replays_identically(
+        choices in proptest::collection::vec(any::<u16>(), 0..48),
+        crashes in 0u32..2,
+        drops in 0u32..2,
+    ) {
+        use tokq::simnet::{random_schedule, replay, FaultBudget, Schedule};
+        let faults = FaultBudget { crashes, drops, ..FaultBudget::NONE };
+        let factory = ArbiterConfig::basic();
+        let schedule = random_schedule(&factory, 3, &[1, 2], faults, &choices);
+
+        let parsed = Schedule::from_jsonl(&schedule.to_jsonl());
+        prop_assert!(parsed.is_ok(), "reparse failed: {:?}", parsed);
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(&parsed, &schedule);
+
+        let a = replay(&factory, &schedule);
+        let b = replay(&factory, &parsed);
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Wire codec: random messages roundtrip, random bytes never panic.
 // ---------------------------------------------------------------------
 

@@ -140,9 +140,12 @@ fn hotspot_load_balances_arbiter_duty_onto_requesters() {
 fn arbiter_algorithm_survives_exhaustive_interleaving_check() {
     // Bounded model checking of the actual paper algorithm: every delivery
     // order of every in-flight message and timer for 3 nodes, 2 requests.
+    // With dedup + sleep sets, 150k unique states cover far more
+    // interleavings than the old naive enumerator's 1.5M tree nodes.
     let stats = Explorer::new(ExploreConfig {
         max_depth: 22,
-        max_states: 1_500_000,
+        max_states: 150_000,
+        ..ExploreConfig::default()
     })
     .check(ArbiterConfig::basic(), 3, &[1, 2])
     .expect("arbiter must be safe under every interleaving");
@@ -153,7 +156,8 @@ fn arbiter_algorithm_survives_exhaustive_interleaving_check() {
 fn starvation_free_variant_survives_exhaustive_interleaving_check() {
     let stats = Explorer::new(ExploreConfig {
         max_depth: 18,
-        max_states: 1_500_000,
+        max_states: 150_000,
+        ..ExploreConfig::default()
     })
     .check(ArbiterConfig::starvation_free(), 3, &[1, 2])
     .expect("starvation-free variant must be safe under every interleaving");
