@@ -15,6 +15,22 @@ pub trait ProtocolMessage: Clone + Debug + Hash + Send + 'static {
     /// `"PRIVILEGE"`, `"NEW-ARBITER"`) used for the per-kind message
     /// counters that back Figures 3–6.
     fn kind(&self) -> &'static str;
+
+    /// True if delivering a *second copy* of this message is within the
+    /// channel model the protocol is specified under — i.e. the receiving
+    /// handler is idempotent (sequence-number/round guards, set-semantics
+    /// queues, epoch maxima), so a duplicate can change timing but never
+    /// correctness.
+    ///
+    /// The model checker's duplication fault only branches on messages
+    /// that return true. The default is `false`: most handlers here assume
+    /// at-most-once delivery (e.g. Ricart–Agrawala counts REPLYs with a
+    /// plain counter, Maekawa counts LOCKED votes), and duplicating such a
+    /// message would make the checker report a violation of an assumption
+    /// the algorithm never claimed to tolerate.
+    fn duplication_tolerant(&self) -> bool {
+        false
+    }
 }
 
 /// A protocol timer identity. `SetTimer` with an equal timer value replaces

@@ -176,6 +176,17 @@ impl ProtocolMessage for ArbiterMsg {
             ArbiterMsg::ProbeAck { .. } => "PROBE-ACK",
         }
     }
+
+    /// Every handler except the token's is idempotent — REQUEST and
+    /// MONITOR-SUBMIT land in Q-lists with set semantics plus the `L`-array
+    /// stale check, NEW-ARBITER and WARNING are round-guarded, ENQUIRY /
+    /// ENQUIRY-REPLY / PROBE / PROBE-ACK belong to retransmitting
+    /// timeout-driven exchanges that already tolerate late and repeated
+    /// copies, and INVALIDATE takes an epoch maximum. Only PRIVILEGE is
+    /// excluded: the token is unique by channel assumption.
+    fn duplication_tolerant(&self) -> bool {
+        !matches!(self, ArbiterMsg::Privilege(_))
+    }
 }
 
 /// Timers used by the arbiter algorithm.

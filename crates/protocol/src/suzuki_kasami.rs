@@ -53,6 +53,12 @@ impl ProtocolMessage for SkMsg {
             SkMsg::Privilege(_) => "PRIVILEGE",
         }
     }
+
+    /// REQUEST is absorbed with `RN[j] := max(RN[j], seq)` — idempotent —
+    /// while the PRIVILEGE token is unique by channel assumption.
+    fn duplication_tolerant(&self) -> bool {
+        matches!(self, SkMsg::Request { .. })
+    }
 }
 
 /// Configuration (and [`ProtocolFactory`]) for Suzuki–Kasami.

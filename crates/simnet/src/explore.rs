@@ -15,15 +15,19 @@
 //!   the per-node fingerprints with the in-flight message *multiset* (the
 //!   queue order is irrelevant because the checker branches over every
 //!   delivery order anyway), the pending-timer multiset, and the remaining
-//!   fault budgets. Revisited states are pruned.
+//!   fault budgets. Because the search is depth-bounded, each fingerprint
+//!   stores the depth budget it was explored with: a state first reached
+//!   near `max_depth` has a truncated subtree, so a later, shallower
+//!   revisit (with more budget left) re-explores instead of being pruned
+//!   against the truncated claim.
 //! * **sleep sets** (a partial-order reduction) — two scheduling decisions
 //!   targeting *different* nodes commute, so after exploring `t₁` before
 //!   `t₂`, the redundant `t₂`-before-`t₁` orders are skipped. Fault
 //!   injections are treated as dependent on everything and are never
 //!   slept. Combining sleep sets with state caching is only sound with a
 //!   subsumption check: a revisit is pruned only if the current sleep set
-//!   *covers* the stored one; otherwise the state is re-explored and the
-//!   stored set shrunk to the intersection.
+//!   *covers* the stored one (and no extra depth budget remains);
+//!   otherwise the state is re-explored and the stored claim adjusted.
 //!
 //! A [`Violation`] carries a [`Schedule`] counterexample, shrunk by
 //! delta-debugging ([`shrink_schedule`]) to a locally-minimal step
@@ -388,7 +392,7 @@ impl<P: Protocol + Clone> World<P> {
         }
         if self.budget.duplicates > 0 {
             for (index, env) in self.in_flight.iter().enumerate() {
-                if !is_token_kind(env.msg.kind()) {
+                if env.msg.duplication_tolerant() {
                     steps.push(Step::Duplicate { index });
                 }
             }
@@ -486,7 +490,7 @@ impl<P: Protocol + Clone> World<P> {
                     && self
                         .in_flight
                         .get(index)
-                        .is_some_and(|e| !is_token_kind(e.msg.kind()));
+                        .is_some_and(|e| e.msg.duplication_tolerant());
                 if !eligible {
                     return Err(Inapplicable);
                 }
@@ -614,14 +618,29 @@ struct Found {
     steps: Vec<Step>,
 }
 
+/// What one visit to a fingerprint established: the depth budget that was
+/// left when the state was explored and the sleep set it was explored
+/// under. Both bound the stored coverage, so a revisit may only be pruned
+/// if it asks for no more than this claim delivers.
+struct VisitEntry {
+    /// `max_depth − depth` at exploration time. A state first reached near
+    /// the depth bound has a *truncated* subtree; recording the budget lets
+    /// a shallower (larger-budget) revisit re-explore instead of being
+    /// silently pruned against the truncated claim.
+    remaining: usize,
+    /// The sleep set the exploration ran under (its transitions were *not*
+    /// explored from here).
+    sleep: HashSet<u64>,
+}
+
 /// The recursive search state.
 struct Search<'a> {
     cfg: ExploreConfig,
     stats: ExploreStats,
-    /// State fingerprint → sleep set it was last explored under (the
-    /// intersection across visits). A revisit whose sleep set covers the
-    /// stored one adds nothing and is pruned.
-    visited: HashMap<u64, HashSet<u64>>,
+    /// State fingerprint → strongest coverage claim established for it. A
+    /// revisit is pruned only if the stored claim subsumes it: at least as
+    /// much remaining depth, and a stored sleep set the current one covers.
+    visited: HashMap<u64, VisitEntry>,
     /// Optional sink collecting every visited protocol fingerprint (for
     /// the reduction-soundness differential test).
     fingerprints: Option<&'a mut BTreeSet<u64>>,
@@ -648,20 +667,45 @@ impl Search<'_> {
         }
 
         if self.cfg.dedup {
+            let remaining = self.cfg.max_depth.saturating_sub(depth);
             let key = world.fingerprint();
             match self.visited.get_mut(&key) {
-                Some(stored) if stored.iter().all(|t| sleep.contains_key(t)) => {
-                    // Everything we would explore here was already explored
-                    // under a sleep set we subsume.
+                Some(entry)
+                    if entry.remaining >= remaining
+                        && entry.sleep.iter().all(|t| sleep.contains_key(t)) =>
+                {
+                    // Everything we would explore here — to our remaining
+                    // depth, minus our sleepers — was already explored.
                     self.stats.dedup_hits += 1;
                     return Ok(());
                 }
-                Some(stored) => {
-                    // Re-explore, and record the (smaller) joint coverage.
-                    stored.retain(|t| sleep.contains_key(t));
+                Some(entry) => {
+                    if remaining > entry.remaining {
+                        // The earlier visit sat closer to the depth bound,
+                        // so its subtree was truncated shallower than ours
+                        // will be: this re-exploration supersedes the
+                        // stored claim entirely.
+                        entry.remaining = remaining;
+                        entry.sleep = sleep.keys().copied().collect();
+                    } else if remaining == entry.remaining {
+                        // Equal budgets, incomparable sleep sets: the joint
+                        // coverage at this depth is the intersection.
+                        entry.sleep.retain(|t| sleep.contains_key(t));
+                    }
+                    // remaining < entry.remaining: keep the stronger stored
+                    // claim; this shallower revisit re-explores without
+                    // weakening it (lowering the depth or intersecting the
+                    // sleep set here would discard coverage the deeper
+                    // visit really achieved).
                 }
                 None => {
-                    self.visited.insert(key, sleep.keys().copied().collect());
+                    self.visited.insert(
+                        key,
+                        VisitEntry {
+                            remaining,
+                            sleep: sleep.keys().copied().collect(),
+                        },
+                    );
                 }
             }
         }

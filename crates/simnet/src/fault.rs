@@ -226,9 +226,9 @@ mod tests {
 
 /// True for message kinds that carry the token (or a privilege grant) on
 /// the wire. These are the messages whose loss the paper's §6 recovery
-/// machinery exists to survive, and the ones the model checker refuses to
-/// *duplicate* (delivering two copies of the token breaks the network
-/// assumption every token-based protocol is specified under).
+/// machinery exists to survive, so the model checker's default drop
+/// budget targets exactly them. (Duplication is gated separately, on
+/// [`tokq_protocol::api::ProtocolMessage::duplication_tolerant`].)
 pub fn is_token_kind(kind: &str) -> bool {
     kind == "PRIVILEGE" || kind == "TOKEN"
 }
@@ -239,9 +239,9 @@ pub fn is_token_kind(kind: &str) -> bool {
 /// into one simulated execution, `FaultBudget` bounds how many faults of
 /// each class the explorer may inject *anywhere*: at every decision level
 /// the checker also branches on crashing a node, recovering a crashed one,
-/// dropping an in-flight token message, or duplicating a non-token
-/// message, as long as the matching budget is not yet spent along the
-/// current path. Budgets are per-path, so `crashes: 1` means "every
+/// dropping an in-flight token message, or duplicating a
+/// duplication-tolerant message, as long as the matching budget is not yet
+/// spent along the current path. Budgets are per-path, so `crashes: 1` means "every
 /// schedule containing at most one crash", not one crash total.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct FaultBudget {
@@ -252,10 +252,15 @@ pub struct FaultBudget {
     /// In-flight message drops (token-carrying messages only, unless
     /// [`FaultBudget::drop_any`] is set).
     pub drops: u32,
-    /// In-flight message duplications. Token-carrying messages are never
-    /// duplicated: protocols are specified under an at-most-once token
-    /// delivery assumption, so a duplicated token is a driver bug, not a
-    /// protocol bug.
+    /// In-flight message duplications. Only messages whose handlers
+    /// declare themselves idempotent
+    /// ([`tokq_protocol::api::ProtocolMessage::duplication_tolerant`]) are
+    /// ever duplicated: the no-duplication channel assumption is not
+    /// specific to tokens (e.g. Ricart–Agrawala counts REPLYs and Maekawa
+    /// counts LOCKED votes with plain counters), so duplicating an
+    /// intolerant message would manufacture violations of an assumption
+    /// the algorithm never claimed to survive. For such protocols this
+    /// budget is inert.
     pub duplicates: u32,
     /// Widen [`FaultBudget::drops`] to every message kind instead of just
     /// token carriers.

@@ -5,6 +5,7 @@
 
 use tokq::obs::{Level, Obs, Source, TraceFilter};
 use tokq::protocol::arbiter::ArbiterConfig;
+use tokq::protocol::maekawa::MaekawaConfig;
 use tokq::protocol::ricart_agrawala::RaConfig;
 use tokq::protocol::suzuki_kasami::SkConfig;
 use tokq::simnet::{
@@ -27,13 +28,21 @@ fn broken_arbiter() -> ArbiterConfig {
 fn reduced_search_covers_the_same_states_as_naive() {
     // Reduction soundness, differentially: the naive enumerator and the
     // dedup+sleep-set search must visit the *same set* of protocol-state
-    // fingerprints when both run unbounded within the depth limit.
+    // fingerprints when both run unbounded within the depth limit. The
+    // arbiter is the regression case for the depth-unaware visited cache:
+    // its timer-rich state graph reaches states near the depth bound first
+    // and revisits them shallower, so a cache that ignores the remaining
+    // depth budget silently misses coverage at depths 6–9.
     let depth = |d| ExploreConfig {
         max_depth: d,
         check_deadlock: false,
         ..ExploreConfig::default()
     };
-    for (label, d) in [("ricart-agrawala", 12), ("suzuki-kasami", 12)] {
+    for (label, d) in [
+        ("arbiter", 8),
+        ("ricart-agrawala", 12),
+        ("suzuki-kasami", 12),
+    ] {
         let naive_cfg = ExploreConfig {
             shrink: false,
             ..ExploreConfig::naive()
@@ -43,6 +52,18 @@ fn reduced_search_covers_the_same_states_as_naive() {
             ..naive_cfg
         };
         let (naive, reduced) = match label {
+            "arbiter" => (
+                Explorer::new(naive_cfg).check_with_fingerprints(
+                    &ArbiterConfig::basic(),
+                    3,
+                    &[1, 2],
+                ),
+                Explorer::new(depth(d)).check_with_fingerprints(
+                    &ArbiterConfig::basic(),
+                    3,
+                    &[1, 2],
+                ),
+            ),
             "ricart-agrawala" => (
                 Explorer::new(naive_cfg).check_with_fingerprints(&RaConfig, 3, &[0, 1]),
                 Explorer::new(depth(d)).check_with_fingerprints(&RaConfig, 3, &[0, 1]),
@@ -80,7 +101,7 @@ fn reduction_is_at_least_10x_on_the_arbiter() {
     // by its state budget — which only *understates* the true ratio.)
     let naive = Explorer::new(ExploreConfig {
         max_depth: 12,
-        max_states: 1_000_000,
+        max_states: 2_000_000,
         ..ExploreConfig::naive()
     })
     .check(ArbiterConfig::basic(), 3, &[1, 2])
@@ -244,6 +265,43 @@ fn fault_branching_finds_no_safety_violation_in_token_algorithms() {
         .check(SkConfig::default(), 3, &[1, 2])
         .expect("Suzuki–Kasami must stay safe under injected faults");
     assert!(stats.fault_branches > 0);
+}
+
+#[test]
+fn duplication_budget_is_inert_for_duplication_intolerant_protocols() {
+    // The no-duplication channel assumption is not specific to tokens:
+    // Ricart–Agrawala counts REPLYs and Maekawa counts LOCKED votes with
+    // plain counters, so delivering a second copy would let a node enter
+    // the CS early — a violation of the channel model these algorithms
+    // are specified under, not of the algorithms. The checker therefore
+    // only duplicates messages whose handlers declare idempotence
+    // (`ProtocolMessage::duplication_tolerant`); for these two protocols
+    // no message qualifies, so a duplication-only budget must explore
+    // zero fault branches and report no violation.
+    let cfg = ExploreConfig {
+        max_depth: 10,
+        max_states: 200_000,
+        check_deadlock: false,
+        ..ExploreConfig::default()
+    }
+    .with_faults(FaultBudget {
+        duplicates: 2,
+        ..FaultBudget::NONE
+    });
+    let stats = Explorer::new(cfg)
+        .check(RaConfig, 3, &[0, 1])
+        .expect("Ricart–Agrawala must not be failed for duplicates its channel model forbids");
+    assert_eq!(
+        stats.fault_branches, 0,
+        "no RA message is duplication-tolerant"
+    );
+    let stats = Explorer::new(cfg)
+        .check(MaekawaConfig, 3, &[0, 1])
+        .expect("Maekawa must not be failed for duplicates its channel model forbids");
+    assert_eq!(
+        stats.fault_branches, 0,
+        "no Maekawa message is duplication-tolerant"
+    );
 }
 
 #[test]
