@@ -11,9 +11,10 @@ use tokq_protocol::api::ProtocolFactory;
 use tokq_protocol::arbiter::ArbiterConfig;
 use tokq_protocol::types::NodeId;
 
+use crate::fault::FaultPanel;
 use crate::metrics::ClusterMetrics;
 use crate::node::{NodeEvent, NodeLoop};
-use crate::tcp::{TcpReceiver, TcpSender};
+use crate::tcp::{BackoffPolicy, TcpReceiver, TcpSender};
 use crate::transport::{ChannelTransport, Envelope, NetOptions, Wire};
 
 /// Builder for a [`Cluster`].
@@ -104,6 +105,9 @@ impl ClusterBuilder {
             obs.attach_flight_recorder(capacity, level);
         }
         let metrics = ClusterMetrics::with_obs(obs);
+        // One fault surface shared by whichever transport carries frames:
+        // `Cluster::partition`/`heal` act through it at runtime.
+        let fault_panel = FaultPanel::new(self.n, metrics.obs());
         let mut node_txs = Vec::with_capacity(self.n);
         let mut node_rxs = Vec::with_capacity(self.n);
         for _ in 0..self.n {
@@ -124,7 +128,12 @@ impl ClusterBuilder {
                 addrs.push(recv.local_addr());
                 tcp_receivers.push(recv);
             }
-            Arc::new(TcpSender::with_obs(addrs, metrics.obs()))
+            Arc::new(TcpSender::with_panel(
+                addrs,
+                metrics.obs(),
+                fault_panel.clone(),
+                BackoffPolicy::default(),
+            ))
         } else {
             // The channel transport needs inbox senders that wrap
             // envelopes into NodeEvents: a tiny pump per node.
@@ -151,10 +160,11 @@ impl ClusterBuilder {
                 wire_txs.push(wtx);
                 pump_threads.push(h);
             }
-            Arc::new(ChannelTransport::with_obs(
+            Arc::new(ChannelTransport::with_panel(
                 wire_txs,
                 self.net,
                 metrics.obs(),
+                fault_panel.clone(),
             ))
         };
 
@@ -175,6 +185,7 @@ impl ClusterBuilder {
             pump_threads,
             tcp_receivers,
             transport: Some(transport),
+            fault_panel,
             metrics,
         }
     }
@@ -192,6 +203,7 @@ pub struct Cluster {
     pump_threads: Vec<std::thread::JoinHandle<()>>,
     tcp_receivers: Vec<TcpReceiver>,
     transport: Option<Arc<dyn Wire>>,
+    fault_panel: FaultPanel,
     metrics: Arc<ClusterMetrics>,
 }
 
@@ -240,14 +252,55 @@ impl Cluster {
     }
 
     /// Crashes `node`: volatile protocol state is lost and the node stops
-    /// reacting until [`Cluster::recover`].
-    pub fn crash(&self, node: usize) {
-        let _ = self.node_txs[node].send(NodeEvent::Crash);
+    /// reacting until [`Cluster::recover`]. Returns `false` (with a warn
+    /// event, no panic) for an out-of-range node.
+    pub fn crash(&self, node: usize) -> bool {
+        let Some(tx) = self.node_txs.get(node) else {
+            self.warn_range("crash_out_of_range", node);
+            return false;
+        };
+        tx.send(NodeEvent::Crash).is_ok()
     }
 
-    /// Recovers a crashed node with fresh state.
-    pub fn recover(&self, node: usize) {
-        let _ = self.node_txs[node].send(NodeEvent::Recover);
+    /// Recovers a crashed node with fresh state. Returns `false` (with a
+    /// warn event, no panic) for an out-of-range node.
+    pub fn recover(&self, node: usize) -> bool {
+        let Some(tx) = self.node_txs.get(node) else {
+            self.warn_range("recover_out_of_range", node);
+            return false;
+        };
+        tx.send(NodeEvent::Recover).is_ok()
+    }
+
+    fn warn_range(&self, name: &'static str, node: usize) {
+        let obs = self.metrics.obs();
+        if obs.enabled("node", Level::Info) {
+            obs.emit(
+                tokq_obs::Event::new("node", Level::Info, name)
+                    .field("node", &(node as u64))
+                    .field("n", &(self.node_txs.len() as u64)),
+            );
+        }
+    }
+
+    /// The cluster's shared fault surface: per-link blocks, partitions,
+    /// and injected loss, mutable while the cluster runs.
+    pub fn fault_panel(&self) -> &FaultPanel {
+        &self.fault_panel
+    }
+
+    /// Installs a network partition: nodes in different `groups` cannot
+    /// exchange frames (see [`FaultPanel::partition`]). On the channel
+    /// transport cross-partition frames drop; on TCP they park in retry
+    /// queues and drain after [`Cluster::heal`].
+    pub fn partition(&self, groups: &[&[usize]]) {
+        self.fault_panel.partition(groups);
+    }
+
+    /// Heals all injected faults: every link unblocks and injected loss
+    /// clears.
+    pub fn heal(&self) {
+        self.fault_panel.heal();
     }
 
     /// Shared metrics (messages, completions, notes).
@@ -337,29 +390,35 @@ impl MutexHandle {
     /// Like [`MutexHandle::lock`] with a timeout; `None` on timeout or
     /// cluster shutdown. An abandoned grant is released automatically.
     pub fn try_lock_for(&self, timeout: Duration) -> Option<LockGuard> {
-        let (grant_tx, grant_rx) = bounded::<()>(1);
+        let (grant_tx, grant_rx) = bounded::<u64>(1);
         self.tx.send(NodeEvent::Acquire { grant: grant_tx }).ok()?;
-        if timeout == Duration::MAX {
-            grant_rx.recv().ok()?;
+        let gen = if timeout == Duration::MAX {
+            grant_rx.recv().ok()?
         } else {
-            grant_rx.recv_timeout(timeout).ok()?;
-        }
+            grant_rx.recv_timeout(timeout).ok()?
+        };
         Some(LockGuard {
             tx: self.tx.clone(),
+            gen,
         })
     }
 }
 
 /// RAII guard for the distributed critical section: the lock is held from
 /// grant until the guard drops.
+///
+/// Guards are generation-tagged: if the granting node crashes while the
+/// guard is held, the eventual release is recognized as stale and ignored
+/// instead of ending a post-recovery critical section.
 #[derive(Debug)]
 pub struct LockGuard {
     tx: Sender<NodeEvent>,
+    gen: u64,
 }
 
 impl Drop for LockGuard {
     fn drop(&mut self) {
-        let _ = self.tx.send(NodeEvent::Release);
+        let _ = self.tx.send(NodeEvent::Release { gen: self.gen });
     }
 }
 

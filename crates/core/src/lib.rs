@@ -31,14 +31,18 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod cluster;
+pub mod fault;
 pub mod metrics;
 mod node;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
 
+pub use chaos::{soak, SafetyChecker, SoakOptions, SoakReport};
 pub use cluster::{Cluster, ClusterBuilder, LockGuard, MutexHandle};
+pub use fault::FaultPanel;
 pub use metrics::ClusterMetrics;
 pub use transport::NetOptions;
 pub use wire::{decode, encode, WireError};

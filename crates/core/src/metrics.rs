@@ -23,6 +23,13 @@ pub struct ClusterMetrics {
     obs: Obs,
     messages_total: Counter,
     cs_completed: Counter,
+    cs_requests: Counter,
+    cs_rerequests: Counter,
+    // Transport-churn counters. The registry interns counters by name, so
+    // these are the same atomics the TCP sender increments.
+    tcp_reconnects: Counter,
+    tcp_frames_requeued: Counter,
+    tcp_frames_abandoned: Counter,
 }
 
 impl Default for ClusterMetrics {
@@ -45,10 +52,20 @@ impl ClusterMetrics {
     fn on(obs: Obs) -> Self {
         let messages_total = obs.registry().counter("messages_total");
         let cs_completed = obs.registry().counter("cs_completed");
+        let cs_requests = obs.registry().counter("cs_requests");
+        let cs_rerequests = obs.registry().counter("cs_rerequests");
+        let tcp_reconnects = obs.registry().counter("tcp_reconnects");
+        let tcp_frames_requeued = obs.registry().counter("tcp_frames_requeued");
+        let tcp_frames_abandoned = obs.registry().counter("tcp_frames_abandoned");
         ClusterMetrics {
             obs,
             messages_total,
             cs_completed,
+            cs_requests,
+            cs_rerequests,
+            tcp_reconnects,
+            tcp_frames_requeued,
+            tcp_frames_abandoned,
         }
     }
 
@@ -70,6 +87,14 @@ impl ClusterMetrics {
         self.cs_completed.inc();
     }
 
+    pub(crate) fn cs_requested(&self) {
+        self.cs_requests.inc();
+    }
+
+    pub(crate) fn cs_rerequested(&self) {
+        self.cs_rerequests.inc();
+    }
+
     /// Total messages transmitted so far.
     pub fn messages_total(&self) -> u64 {
         self.messages_total.get()
@@ -78,6 +103,37 @@ impl ClusterMetrics {
     /// Total critical sections completed so far.
     pub fn cs_completed_total(&self) -> u64 {
         self.cs_completed.get()
+    }
+
+    /// Fresh application lock requests submitted so far (one per
+    /// [`crate::MutexHandle::try_lock_for`]/[`crate::MutexHandle::lock`]
+    /// that reached its node).
+    pub fn cs_requests_total(&self) -> u64 {
+        self.cs_requests.get()
+    }
+
+    /// Recovery-era re-requests: lock requests re-issued on behalf of
+    /// waiters that survived a node crash. Counted separately so recovery
+    /// traffic is not conflated with fresh demand.
+    pub fn cs_rerequests_total(&self) -> u64 {
+        self.cs_rerequests.get()
+    }
+
+    /// TCP reconnects: connection establishments after a previous failure
+    /// or disconnect (zero on the channel transport).
+    pub fn reconnects(&self) -> u64 {
+        self.tcp_reconnects.get()
+    }
+
+    /// Frames parked in a TCP retry queue after a send failure or a
+    /// blocked link; they redeliver when the peer heals.
+    pub fn frames_requeued(&self) -> u64 {
+        self.tcp_frames_requeued.get()
+    }
+
+    /// Frames dropped because a TCP retry queue overflowed its bound.
+    pub fn frames_abandoned(&self) -> u64 {
+        self.tcp_frames_abandoned.get()
     }
 
     /// Average messages per completed critical section (NaN before the

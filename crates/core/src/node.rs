@@ -28,11 +28,16 @@ const T_NET: &str = "net";
 pub(crate) enum NodeEvent {
     /// An encoded protocol frame arrived.
     Wire { from: NodeId, frame: bytes::Bytes },
-    /// An application thread wants the lock; the sender is signalled when
-    /// the critical section is granted.
-    Acquire { grant: Sender<()> },
-    /// The guard was dropped: the critical section is over.
-    Release,
+    /// An application thread wants the lock; the sender receives the
+    /// grant's CS generation when the critical section is granted.
+    Acquire { grant: Sender<u64> },
+    /// The guard was dropped: the critical section is over. Carries the
+    /// generation the guard was granted under, so a stale guard from
+    /// before a crash cannot release somebody else's critical section.
+    Release {
+        /// CS generation the releasing guard was granted under.
+        gen: u64,
+    },
     /// Simulated process crash (volatile state lost).
     Crash,
     /// Restart after a crash.
@@ -80,8 +85,9 @@ pub(crate) struct NodeLoop {
     timer_gen: HashMap<ArbiterTimer, u64>,
 
     /// Pending grant channels paired with their acquire time, for the
-    /// CS-grant latency histogram.
-    waiters: VecDeque<(Sender<()>, Instant)>,
+    /// CS-grant latency histogram. Waiters survive a crash: on recovery
+    /// the node re-requests the lock on their behalf.
+    waiters: VecDeque<(Sender<u64>, Instant)>,
     /// Open `request_collection` span while this node's arbiter window
     /// collects requests (closed by the Q-list seal).
     collection_span: Option<SpanGuard>,
@@ -91,6 +97,10 @@ pub(crate) struct NodeLoop {
     engaged: bool,
     in_cs: bool,
     alive: bool,
+    /// CS generation: bumped on every grant and on every crash, so a
+    /// [`NodeEvent::Release`] from a guard granted in an earlier era is
+    /// recognized as stale and ignored.
+    cs_gen: u64,
     /// Internally generated events processed before external ones
     /// (e.g. auto-release when a grantee abandoned its request).
     backlog: VecDeque<NodeEvent>,
@@ -122,6 +132,7 @@ impl NodeLoop {
             engaged: false,
             in_cs: false,
             alive: true,
+            cs_gen: 0,
             backlog: VecDeque::new(),
         }
     }
@@ -197,10 +208,18 @@ impl NodeLoop {
                 }
             }
             NodeEvent::Acquire { grant } => {
+                self.metrics.cs_requested();
                 self.waiters.push_back((grant, Instant::now()));
                 self.pump_lock();
             }
-            NodeEvent::Release => {
+            NodeEvent::Release { gen } => {
+                if gen != self.cs_gen {
+                    // A guard from before a crash (or an abandoned grant
+                    // from an earlier era): its critical section no longer
+                    // exists, so releasing would end somebody else's.
+                    self.metrics.note("stale_release_ignored");
+                    return false;
+                }
                 if self.in_cs {
                     self.in_cs = false;
                     self.engaged = false;
@@ -221,7 +240,13 @@ impl NodeLoop {
                     self.alive = false;
                     self.in_cs = false;
                     self.engaged = false;
-                    self.waiters.clear();
+                    // Invalidate any outstanding guard: its release (or an
+                    // in-flight grant being consumed late) must not close a
+                    // post-recovery critical section.
+                    self.cs_gen += 1;
+                    // Waiters survive: their application threads are still
+                    // blocked on the grant channel, so the recovered node
+                    // re-requests on their behalf instead of stranding them.
                     self.collection_span = None;
                     self.forwarding_span = None;
                     self.timers.clear();
@@ -242,6 +267,14 @@ impl NodeLoop {
                         );
                     }
                     self.dispatch(Input::Recover);
+                    if !self.waiters.is_empty() {
+                        // Re-issue the lock request for waiters that
+                        // survived the crash, counted separately from
+                        // fresh demand.
+                        self.metrics.cs_rerequested();
+                        self.engaged = true;
+                        self.dispatch(Input::RequestCs);
+                    }
                 }
             }
             NodeEvent::Shutdown => return true,
@@ -304,8 +337,9 @@ impl NodeLoop {
                 }
                 Action::EnterCs => {
                     self.in_cs = true;
+                    self.cs_gen += 1;
                     match self.waiters.pop_front() {
-                        Some((grant, since)) if grant.send(()).is_ok() => {
+                        Some((grant, since)) if grant.send(self.cs_gen).is_ok() => {
                             let waited = since.elapsed();
                             self.obs
                                 .registry()
@@ -325,7 +359,8 @@ impl NodeLoop {
                         _ => {
                             // The waiter gave up (timeout) or vanished:
                             // release immediately so the token moves on.
-                            self.backlog.push_back(NodeEvent::Release);
+                            self.backlog
+                                .push_back(NodeEvent::Release { gen: self.cs_gen });
                         }
                     }
                 }

@@ -3,22 +3,36 @@
 //!
 //! The framing is `[u32 len][u32 sender][payload]` (big-endian), with the
 //! payload being the [`crate::wire`] encoding of the protocol message.
-//! Connections are opened lazily per destination and dropped on any I/O
-//! error — a lost frame is equivalent to a lossy network, which the
-//! fault-tolerant protocol configuration already handles.
+//! Connections are opened lazily per destination. A failed send no longer
+//! abandons the frame after one reconnect attempt: frames park in a
+//! bounded per-peer retry queue and a background flusher redelivers them
+//! under exponential backoff with jitter ([`BackoffPolicy`]), so a peer
+//! restart or a healed partition drains the queue instead of silently
+//! losing traffic. Only queue overflow abandons frames (oldest first,
+//! counted in `tcp_frames_abandoned`) — sustained unreachability then
+//! degrades to the lossy-network behaviour the fault-tolerant protocol
+//! configuration already handles.
+//!
+//! Partitions come from the shared [`FaultPanel`]: a blocked link is
+//! treated exactly like an unreachable peer, so its frames queue and
+//! drain on heal. Injected panel loss, by contrast, drops frames outright
+//! at send time (TCP cannot resurrect a frame the application never
+//! wrote), mirroring the simulator's loss semantics.
 
+use std::collections::VecDeque;
 use std::io::{Read, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::Sender;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use tokq_obs::{Counter, Obs, Source};
 use tokq_protocol::types::NodeId;
 
+use crate::fault::FaultPanel;
 use crate::node::NodeEvent;
 use crate::transport::{Envelope, Wire};
 
@@ -26,21 +40,217 @@ use crate::transport::{Envelope, Wire};
 /// far below this; anything bigger is corruption).
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
 
-/// The sending half: lazily-connected streams to every peer.
-pub struct TcpSender {
+/// Reconnect/backoff behaviour of a [`TcpSender`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry after a send failure.
+    pub base: Duration,
+    /// Upper bound on the backoff delay.
+    pub max: Duration,
+    /// Uniform jitter added to each delay, as a fraction of the delay
+    /// (`0.5` adds up to +50%). Decorrelates reconnect storms when many
+    /// peers fail at once.
+    pub jitter: f64,
+    /// Per-peer retry queue bound; overflow drops the oldest frame.
+    pub queue_cap: usize,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base: Duration::from_millis(10),
+            max: Duration::from_secs(1),
+            jitter: 0.5,
+            queue_cap: 512,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay following `current` in the exponential schedule.
+    fn next_delay(&self, current: Duration) -> Duration {
+        if current.is_zero() {
+            self.base
+        } else {
+            (current * 2).min(self.max)
+        }
+    }
+}
+
+/// Per-peer connection and retry state.
+struct Peer {
+    conn: Option<TcpStream>,
+    queue: VecDeque<Envelope>,
+    /// Current backoff delay; zero while the link is healthy.
+    delay: Duration,
+    /// Earliest instant the flusher may retry this peer.
+    next_attempt: Instant,
+    /// Whether a connection was ever established (distinguishes
+    /// reconnects from first connects).
+    ever_connected: bool,
+}
+
+impl Peer {
+    fn new() -> Self {
+        Peer {
+            conn: None,
+            queue: VecDeque::new(),
+            delay: Duration::ZERO,
+            next_attempt: Instant::now(),
+            ever_connected: false,
+        }
+    }
+}
+
+struct SenderInner {
     addrs: Vec<SocketAddr>,
-    conns: Vec<Mutex<Option<TcpStream>>>,
+    peers: Vec<Mutex<Peer>>,
+    policy: BackoffPolicy,
     connect_timeout: Duration,
+    panel: FaultPanel,
+    stop: AtomicBool,
+    /// SplitMix64 state for backoff jitter.
+    rng: AtomicU64,
     /// Successful outbound connection establishments (incl. reconnects).
     connects: Counter,
-    /// Frames abandoned after the reconnect attempt also failed.
-    send_lost: Counter,
+    /// Connection establishments after a previous failure or disconnect.
+    reconnects: Counter,
+    /// Frames parked in a retry queue after a send failure or a blocked
+    /// link.
+    frames_requeued: Counter,
+    /// Frames dropped because a retry queue overflowed its bound.
+    frames_abandoned: Counter,
+}
+
+impl SenderInner {
+    fn jittered(&self, delay: Duration) -> Duration {
+        if self.policy.jitter <= 0.0 {
+            return delay;
+        }
+        let state = self
+            .rng
+            .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        delay + delay.mul_f64(self.policy.jitter * unit)
+    }
+
+    /// Parks `env` in `peer`'s retry queue, dropping the oldest frame if
+    /// the queue is at its bound.
+    fn park(&self, peer: &mut Peer, env: Envelope) {
+        if peer.queue.len() >= self.policy.queue_cap {
+            peer.queue.pop_front();
+            self.frames_abandoned.inc();
+        }
+        peer.queue.push_back(env);
+        self.frames_requeued.inc();
+    }
+
+    /// Schedules the next retry for `peer` one backoff step out.
+    fn back_off(&self, peer: &mut Peer) {
+        peer.delay = self.policy.next_delay(peer.delay);
+        peer.next_attempt = Instant::now() + self.jittered(peer.delay);
+    }
+
+    /// Connects (if needed) and writes one frame on `peer`'s stream.
+    fn write_frame(&self, idx: usize, peer: &mut Peer, env: &Envelope) -> std::io::Result<()> {
+        if peer.conn.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addrs[idx], self.connect_timeout)?;
+            stream.set_nodelay(true)?;
+            self.connects.inc();
+            if peer.ever_connected {
+                self.reconnects.inc();
+            }
+            peer.ever_connected = true;
+            peer.conn = Some(stream);
+        }
+        let stream = peer.conn.as_mut().expect("just connected");
+        let mut header = [0u8; 8];
+        header[..4].copy_from_slice(&(env.frame.len() as u32).to_be_bytes());
+        header[4..].copy_from_slice(&env.from.0.to_be_bytes());
+        let result = stream
+            .write_all(&header)
+            .and_then(|()| stream.write_all(&env.frame));
+        if result.is_err() {
+            peer.conn = None; // reconnect on the next attempt
+        }
+        result
+    }
+
+    /// One write attempt with a single immediate reconnect when the
+    /// failure was on a pre-existing (possibly stale) connection.
+    fn send_now(&self, idx: usize, peer: &mut Peer, env: &Envelope) -> std::io::Result<()> {
+        let had_conn = peer.conn.is_some();
+        match self.write_frame(idx, peer, env) {
+            Ok(()) => {
+                peer.delay = Duration::ZERO;
+                Ok(())
+            }
+            Err(e) if had_conn => match self.write_frame(idx, peer, env) {
+                Ok(()) => {
+                    peer.delay = Duration::ZERO;
+                    Ok(())
+                }
+                Err(_) => Err(e),
+            },
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Attempts to drain `peer`'s retry queue, preserving frame order.
+    /// Frames whose link is still blocked are kept; an I/O failure backs
+    /// the peer off and keeps the unsent tail.
+    fn drain_peer(&self, idx: usize) {
+        let mut peer = self.peers[idx].lock();
+        if peer.queue.is_empty() || Instant::now() < peer.next_attempt {
+            return;
+        }
+        let mut held: VecDeque<Envelope> = VecDeque::new();
+        let mut failed = false;
+        while let Some(env) = peer.queue.pop_front() {
+            if self.panel.is_blocked(env.from.index(), env.to.index()) {
+                held.push_back(env);
+                continue;
+            }
+            if self.send_now(idx, &mut peer, &env).is_err() {
+                held.push_back(env);
+                failed = true;
+                break;
+            }
+        }
+        if failed {
+            self.back_off(&mut peer);
+        }
+        // Reassemble: held frames preceded the unpopped tail, so order is
+        // preserved per link.
+        while let Some(env) = peer.queue.pop_front() {
+            held.push_back(env);
+        }
+        peer.queue = held;
+    }
+
+    fn pending_frames(&self) -> usize {
+        self.peers.iter().map(|p| p.lock().queue.len()).sum()
+    }
+}
+
+/// The sending half: lazily-connected streams to every peer, with
+/// backoff-governed retry queues behind a background flusher.
+pub struct TcpSender {
+    inner: Arc<SenderInner>,
+    kick: Sender<()>,
+    flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for TcpSender {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpSender")
-            .field("peers", &self.addrs.len())
+            .field("peers", &self.inner.addrs.len())
+            .field("pending_frames", &self.inner.pending_frames())
             .finish()
     }
 }
@@ -52,47 +262,138 @@ impl TcpSender {
     }
 
     /// Like [`TcpSender::new`], recording connection churn counters
-    /// (`tcp_connects`, `tcp_send_lost`) into `obs`.
+    /// (`tcp_connects`, `tcp_reconnects`, `tcp_frames_requeued`,
+    /// `tcp_frames_abandoned`) into `obs`.
     pub fn with_obs(addrs: Vec<SocketAddr>, obs: &Obs) -> Self {
-        let conns = (0..addrs.len()).map(|_| Mutex::new(None)).collect();
-        TcpSender {
+        let panel = FaultPanel::new(addrs.len(), obs);
+        Self::with_panel(addrs, obs, panel, BackoffPolicy::default())
+    }
+
+    /// Full-control constructor: an external [`FaultPanel`] (shared with
+    /// the fault-injecting side) and an explicit [`BackoffPolicy`].
+    pub fn with_panel(
+        addrs: Vec<SocketAddr>,
+        obs: &Obs,
+        panel: FaultPanel,
+        policy: BackoffPolicy,
+    ) -> Self {
+        let peers = (0..addrs.len()).map(|_| Mutex::new(Peer::new())).collect();
+        let inner = Arc::new(SenderInner {
             addrs,
-            conns,
+            peers,
+            policy,
             connect_timeout: Duration::from_millis(500),
+            panel,
+            stop: AtomicBool::new(false),
+            rng: AtomicU64::new(0x7C9A_B0FF),
             connects: obs.registry().counter("tcp_connects"),
-            send_lost: obs.registry().counter("tcp_send_lost"),
+            reconnects: obs.registry().counter("tcp_reconnects"),
+            frames_requeued: obs.registry().counter("tcp_frames_requeued"),
+            frames_abandoned: obs.registry().counter("tcp_frames_abandoned"),
+        });
+        let (kick, kick_rx) = unbounded::<()>();
+        let flusher_inner = Arc::clone(&inner);
+        let flusher = std::thread::Builder::new()
+            .name("tokq-tcp-flush".into())
+            .spawn(move || flush_loop(flusher_inner, kick_rx))
+            .expect("spawn tcp flusher thread");
+        TcpSender {
+            inner,
+            kick,
+            flusher: Mutex::new(Some(flusher)),
         }
     }
 
-    fn try_send(&self, env: &Envelope) -> std::io::Result<()> {
-        let idx = env.to.index();
-        let addr = self.addrs[idx];
-        let mut slot = self.conns[idx].lock();
-        if slot.is_none() {
-            let stream = TcpStream::connect_timeout(&addr, self.connect_timeout)?;
-            stream.set_nodelay(true)?;
-            self.connects.inc();
-            *slot = Some(stream);
+    /// The fault panel this sender consults on every frame.
+    pub fn fault_panel(&self) -> &FaultPanel {
+        &self.inner.panel
+    }
+
+    /// Frames currently parked in retry queues across all peers.
+    pub fn pending_frames(&self) -> usize {
+        self.inner.pending_frames()
+    }
+
+    fn kick_flusher(&self) {
+        let _ = self.kick.send(());
+    }
+
+    /// Stops the flusher thread; queued frames are dropped. Called
+    /// automatically on drop.
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.kick_flusher();
+        if let Some(t) = self.flusher.lock().take() {
+            let _ = t.join();
         }
-        let stream = slot.as_mut().expect("just connected");
-        let mut header = [0u8; 8];
-        header[..4].copy_from_slice(&(env.frame.len() as u32).to_be_bytes());
-        header[4..].copy_from_slice(&env.from.0.to_be_bytes());
-        let result = stream
-            .write_all(&header)
-            .and_then(|()| stream.write_all(&env.frame));
-        if result.is_err() {
-            *slot = None; // reconnect next time
-        }
-        result
     }
 }
 
 impl Wire for TcpSender {
     fn send(&self, env: Envelope) {
-        // Best-effort: one reconnect attempt, then treat as lost.
-        if self.try_send(&env).is_err() && self.try_send(&env).is_err() {
-            self.send_lost.inc();
+        let idx = env.to.index();
+        if idx >= self.inner.addrs.len() {
+            return; // no such peer: drop, like the channel transport
+        }
+        // Injected loss is evaluated at send time, like the simulator's
+        // network model: a dropped frame is gone (TCP cannot resurrect a
+        // frame the application never wrote).
+        if self.inner.panel.rolls_loss_drop() {
+            return;
+        }
+        let mut peer = self.inner.peers[idx].lock();
+        let blocked = self
+            .inner
+            .panel
+            .is_blocked(env.from.index(), env.to.index());
+        // Preserve order: anything queued must go out before this frame,
+        // and a backoff window means the link is known-bad right now.
+        if blocked || !peer.queue.is_empty() || Instant::now() < peer.next_attempt {
+            self.inner.park(&mut peer, env);
+            drop(peer);
+            self.kick_flusher();
+            return;
+        }
+        if self.inner.send_now(idx, &mut peer, &env).is_err() {
+            self.inner.park(&mut peer, env);
+            self.inner.back_off(&mut peer);
+            drop(peer);
+            self.kick_flusher();
+        }
+    }
+}
+
+impl Drop for TcpSender {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Background redelivery: wakes on a kick (new parked frame) or on a
+/// short tick while queues are non-empty, and retries every peer whose
+/// backoff window has elapsed.
+fn flush_loop(inner: Arc<SenderInner>, kick: Receiver<()>) {
+    loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        for idx in 0..inner.peers.len() {
+            inner.drain_peer(idx);
+        }
+        let wait = if inner.pending_frames() > 0 {
+            // Re-check soon: a blocked link can heal at any moment and
+            // backoff windows are in the tens of milliseconds.
+            Duration::from_millis(10)
+        } else {
+            Duration::from_millis(250)
+        };
+        match kick.recv_timeout(wait) {
+            Ok(()) => {
+                // Coalesce a kick storm into one drain pass.
+                while kick.try_recv().is_ok() {}
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
         }
     }
 }
@@ -209,6 +510,21 @@ mod tests {
         "127.0.0.1:0".parse().expect("valid addr")
     }
 
+    fn env_to0(from: u32, payload: &[u8]) -> Envelope {
+        Envelope {
+            from: NodeId(from),
+            to: NodeId(0),
+            frame: Bytes::copy_from_slice(payload),
+        }
+    }
+
+    fn recv_frame(rx: &crossbeam::channel::Receiver<NodeEvent>, timeout: Duration) -> Bytes {
+        match rx.recv_timeout(timeout).expect("frame") {
+            NodeEvent::Wire { frame, .. } => frame,
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
     #[test]
     fn frame_roundtrips_over_loopback() {
         let (tx, rx) = unbounded();
@@ -235,22 +551,15 @@ mod tests {
         let recv = TcpReceiver::bind(loopback(), tx).expect("bind");
         let sender = TcpSender::new(vec![recv.local_addr()]);
         for i in 0..100u8 {
-            sender.send(Envelope {
-                from: NodeId(1),
-                to: NodeId(0),
-                frame: Bytes::from(vec![i]),
-            });
+            sender.send(env_to0(1, &[i]));
         }
         for i in 0..100u8 {
-            match rx.recv_timeout(Duration::from_secs(5)).expect("frame") {
-                NodeEvent::Wire { frame, .. } => assert_eq!(frame[0], i),
-                other => panic!("unexpected {other:?}"),
-            }
+            assert_eq!(recv_frame(&rx, Duration::from_secs(5))[0], i);
         }
     }
 
     #[test]
-    fn send_to_dead_peer_is_best_effort() {
+    fn send_to_dead_peer_queues_without_blocking() {
         // Bind and immediately shut down to get a dead address.
         let (tx, _rx) = unbounded();
         let mut recv = TcpReceiver::bind(loopback(), tx).expect("bind");
@@ -258,12 +567,102 @@ mod tests {
         recv.shutdown();
         drop(recv);
         let sender = TcpSender::new(vec![addr]);
-        // Must not panic or hang.
-        sender.send(Envelope {
-            from: NodeId(0),
-            to: NodeId(0),
-            frame: Bytes::from_static(b"x"),
-        });
+        // Must not panic or hang; the frame parks for retry.
+        sender.send(env_to0(0, b"x"));
+        assert_eq!(sender.pending_frames(), 1);
+    }
+
+    #[test]
+    fn queue_overflow_abandons_oldest() {
+        let (tx, _rx) = unbounded();
+        let mut recv = TcpReceiver::bind(loopback(), tx).expect("bind");
+        let addr = recv.local_addr();
+        recv.shutdown();
+        drop(recv);
+        let obs = Obs::disabled(Source::Runtime);
+        let policy = BackoffPolicy {
+            queue_cap: 4,
+            ..BackoffPolicy::default()
+        };
+        let sender = TcpSender::with_panel(vec![addr], &obs, FaultPanel::detached(1), policy);
+        for i in 0..10u8 {
+            sender.send(env_to0(0, &[i]));
+        }
+        assert!(sender.pending_frames() <= 4);
+        assert!(obs.registry().snapshot().counters["tcp_frames_abandoned"] >= 6);
+    }
+
+    #[test]
+    fn peer_reset_triggers_reconnect_and_redelivery() {
+        // Raw listener so the test controls the server side of the
+        // connection: accepting and dropping with data unread sends an
+        // RST, deterministically killing the sender's cached stream.
+        let obs = Obs::disabled(Source::Runtime);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let sender = TcpSender::with_panel(
+            vec![addr],
+            &obs,
+            FaultPanel::detached(1),
+            BackoffPolicy {
+                base: Duration::from_millis(5),
+                ..BackoffPolicy::default()
+            },
+        );
+        sender.send(env_to0(0, b"doomed"));
+        let (first_conn, _) = listener.accept().expect("accept");
+        drop(first_conn); // unread data → RST
+        std::thread::sleep(Duration::from_millis(50));
+        // The cached stream is now dead. A write into it can still land in
+        // the kernel buffer if the RST races us (that frame is lost — TCP
+        // semantics), so send a sacrificial probe first; the failing write
+        // forces a reconnect and every later frame arrives on the fresh
+        // connection.
+        sender.send(env_to0(0, b"probe"));
+        sender.send(env_to0(0, b"after reset"));
+        let (mut conn, _) = listener.accept().expect("re-accept");
+        let mut seen = Vec::new();
+        loop {
+            let mut header = [0u8; 8];
+            conn.read_exact(&mut header).expect("header");
+            let len = u32::from_be_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+            let mut payload = vec![0u8; len];
+            conn.read_exact(&mut payload).expect("payload");
+            if payload == b"after reset" {
+                break;
+            }
+            seen.push(payload);
+            assert!(seen.len() < 3, "unexpected frames before redelivery");
+        }
+        let counters = obs.registry().snapshot().counters;
+        assert!(counters["tcp_reconnects"] >= 1, "{counters:?}");
+        assert_eq!(counters["tcp_connects"], 2, "{counters:?}");
+    }
+
+    #[test]
+    fn blocked_link_parks_frames_and_heals_in_order() {
+        let obs = Obs::disabled(Source::Runtime);
+        let (tx, rx) = unbounded();
+        let recv = TcpReceiver::bind(loopback(), tx).expect("bind");
+        let panel = FaultPanel::detached(2);
+        let sender = TcpSender::with_panel(
+            vec![recv.local_addr(), recv.local_addr()],
+            &obs,
+            panel.clone(),
+            BackoffPolicy::default(),
+        );
+        panel.block(1, 0);
+        for i in 0..5u8 {
+            sender.send(env_to0(1, &[i]));
+        }
+        assert!(rx.recv_timeout(Duration::from_millis(80)).is_err());
+        assert_eq!(sender.pending_frames(), 5);
+        panel.heal();
+        for i in 0..5u8 {
+            assert_eq!(recv_frame(&rx, Duration::from_secs(5))[0], i);
+        }
+        assert_eq!(sender.pending_frames(), 0);
+        assert_eq!(obs.registry().snapshot().counters["tcp_frames_requeued"], 5);
     }
 
     #[test]

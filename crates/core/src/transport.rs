@@ -3,7 +3,11 @@
 //! The default [`ChannelTransport`] delivers frames over crossbeam
 //! channels, optionally through a network thread that applies configurable
 //! delay and loss — the same unreliability surface the simulator models,
-//! but in real time against real threads.
+//! but in real time against real threads. On top of the static
+//! [`NetOptions`], every frame consults a runtime-mutable
+//! [`FaultPanel`](crate::fault::FaultPanel): blocked links (partitions)
+//! and injected loss bursts are applied at send time, mirroring the
+//! simulator's partition semantics.
 
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
@@ -12,6 +16,8 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use tokq_obs::{Counter, Gauge, Obs, Source};
 use tokq_protocol::types::NodeId;
+
+use crate::fault::FaultPanel;
 
 /// Network behaviour applied by the transport.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,6 +98,7 @@ pub struct ChannelTransport {
     direct: Vec<Sender<Envelope>>,
     net_tx: Option<Sender<Envelope>>,
     net_thread: Option<std::thread::JoinHandle<()>>,
+    panel: FaultPanel,
 }
 
 impl std::fmt::Debug for ChannelTransport {
@@ -172,6 +179,19 @@ impl ChannelTransport {
     /// Like [`ChannelTransport::new`], recording loss/delay counters
     /// (`net_dropped`, `net_delivered`, `net_inflight`) into `obs`.
     pub fn with_obs(inboxes: Vec<Sender<Envelope>>, opts: NetOptions, obs: &Obs) -> Self {
+        let panel = FaultPanel::new(inboxes.len(), obs);
+        Self::with_panel(inboxes, opts, obs, panel)
+    }
+
+    /// Like [`ChannelTransport::with_obs`], sharing an externally owned
+    /// [`FaultPanel`] so partitions and loss bursts can be injected while
+    /// the transport runs.
+    pub fn with_panel(
+        inboxes: Vec<Sender<Envelope>>,
+        opts: NetOptions,
+        obs: &Obs,
+        panel: FaultPanel,
+    ) -> Self {
         let needs_thread =
             opts.delay > Duration::ZERO || opts.jitter > Duration::ZERO || opts.loss > 0.0;
         if !needs_thread {
@@ -179,28 +199,41 @@ impl ChannelTransport {
                 direct: inboxes,
                 net_tx: None,
                 net_thread: None,
+                panel,
             };
         }
         let stats = NetStats::on(obs);
         let (tx, rx) = unbounded::<Envelope>();
+        let thread_panel = panel.clone();
         let thread = std::thread::Builder::new()
             .name("tokq-net".into())
-            .spawn(move || net_thread(rx, inboxes, opts, stats))
+            .spawn(move || net_thread(rx, inboxes, opts, stats, thread_panel))
             .expect("spawn network thread");
         ChannelTransport {
             direct: Vec::new(),
             net_tx: Some(tx),
             net_thread: Some(thread),
+            panel,
         }
     }
 
-    /// Sends one envelope; delivery is best-effort (dead inboxes and
-    /// simulated losses are silently dropped).
+    /// The fault panel this transport consults on every frame.
+    pub fn fault_panel(&self) -> &FaultPanel {
+        &self.panel
+    }
+
+    /// Sends one envelope; delivery is best-effort (dead inboxes,
+    /// simulated losses, and faulted links are silently dropped).
     pub fn send(&self, env: Envelope) {
         if let Some(tx) = &self.net_tx {
             let _ = tx.send(env);
-        } else if let Some(inbox) = self.direct.get(env.to.index()) {
-            let _ = inbox.send(env);
+        } else {
+            if !self.panel.admits(env.from.index(), env.to.index()) {
+                return;
+            }
+            if let Some(inbox) = self.direct.get(env.to.index()) {
+                let _ = inbox.send(env);
+            }
         }
     }
 }
@@ -232,6 +265,7 @@ fn net_thread(
     inboxes: Vec<Sender<Envelope>>,
     opts: NetOptions,
     stats: NetStats,
+    panel: FaultPanel,
 ) {
     let mut heap: BinaryHeap<Delayed> = BinaryHeap::new();
     let mut seq = 0u64;
@@ -253,6 +287,9 @@ fn net_thread(
             .unwrap_or(Duration::from_millis(50));
         match rx.recv_timeout(wait) {
             Ok(env) => {
+                if !panel.admits(env.from.index(), env.to.index()) {
+                    continue;
+                }
                 if opts.loss > 0.0 && next_f64(&mut rng) < opts.loss {
                     stats.dropped.inc();
                     continue;
@@ -342,6 +379,49 @@ mod tests {
         let t = ChannelTransport::new(vec![tx], NetOptions::instant());
         t.send(env(5, b"z"));
         assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn blocked_link_drops_on_direct_path_and_heals() {
+        let (tx, rx) = unbounded();
+        let t = ChannelTransport::new(vec![tx], NetOptions::instant());
+        t.fault_panel().block(0, 0);
+        t.send(env(0, b"cut"));
+        assert!(rx.try_recv().is_err());
+        assert_eq!(t.fault_panel().blocked_drops(), 1);
+        t.fault_panel().heal();
+        t.send(env(0, b"whole"));
+        assert_eq!(&rx.try_recv().expect("healed").frame[..], b"whole");
+    }
+
+    #[test]
+    fn blocked_link_drops_through_net_thread() {
+        let (tx, rx) = unbounded();
+        let t = ChannelTransport::new(
+            vec![tx],
+            NetOptions::delayed(Duration::from_millis(1), Duration::ZERO),
+        );
+        t.fault_panel().block(0, 0);
+        t.send(env(0, b"cut"));
+        assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
+        t.fault_panel().heal();
+        t.send(env(0, b"whole"));
+        let got = rx.recv_timeout(Duration::from_secs(2)).expect("healed");
+        assert_eq!(&got.frame[..], b"whole");
+    }
+
+    #[test]
+    fn injected_total_loss_drops_everything_until_cleared() {
+        let (tx, rx) = unbounded();
+        let t = ChannelTransport::new(vec![tx], NetOptions::instant());
+        t.fault_panel().set_loss(1.0);
+        for _ in 0..10 {
+            t.send(env(0, b"y"));
+        }
+        assert!(rx.try_recv().is_err());
+        t.fault_panel().set_loss(0.0);
+        t.send(env(0, b"z"));
+        assert!(rx.try_recv().is_ok());
     }
 
     #[test]

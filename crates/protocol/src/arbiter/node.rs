@@ -577,7 +577,14 @@ impl ArbiterNode {
         monitor: Option<NodeId>,
         out: &mut Outbox,
     ) {
-        if round <= self.last_round {
+        // A watcher's point-to-point re-send of the broadcast that elected
+        // us (paper §6 lost-handover repair) carries the round we already
+        // observed before crashing: `on_crash` keeps `last_round`, so the
+        // plain staleness check would discard the repair forever while we
+        // answer probes as a healthy non-arbiter — a permanent wedge.
+        // Accept the equal round iff it names us and we lost the role.
+        let handover_repair = round == self.last_round && arbiter == self.id && !self.is_arbiter;
+        if round <= self.last_round && !handover_repair {
             return; // out-of-date broadcast overtaken by a newer one
         }
         self.last_round = round;

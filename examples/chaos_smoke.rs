@@ -1,0 +1,48 @@
+//! Bounded chaos smoke run: one seeded fault schedule (crash/recover,
+//! partition/heal, loss bursts) against a live 5-node fault-tolerant
+//! cluster, with the online safety checker watching every critical
+//! section.
+//!
+//! Run with: `cargo run --release --example chaos_smoke`
+//!
+//! Exits non-zero on a mutual-exclusion violation or a stalled run —
+//! `scripts/check.sh` uses this as its chaos smoke stage. The fixed seed
+//! keeps the schedule identical on every run; a reported failure is
+//! replayable by construction.
+
+use std::time::Duration;
+
+use tokq::core::chaos::{soak, SoakOptions};
+
+fn main() {
+    // Replay hooks: `TOKQ_CHAOS_SEED=<n>` reruns a failed soak's schedule,
+    // `TOKQ_CHAOS_TCP=1` moves it onto loopback TCP, and `TOKQ_CHAOS_OPS`,
+    // `TOKQ_CHAOS_TARGET`, `TOKQ_CHAOS_LIMIT_SECS` match the failed run's
+    // shape when it differed from the smoke defaults.
+    let env_u64 = |key: &str| std::env::var(key).ok().and_then(|s| s.parse::<u64>().ok());
+    let seed = env_u64("TOKQ_CHAOS_SEED").unwrap_or(0xC0FFEE);
+    let mut opts = SoakOptions::quick(5, seed);
+    opts.tcp = std::env::var("TOKQ_CHAOS_TCP").is_ok_and(|v| v == "1");
+    opts.ops = env_u64("TOKQ_CHAOS_OPS").unwrap_or(30) as usize;
+    opts.target_entries = env_u64("TOKQ_CHAOS_TARGET").unwrap_or(300);
+    opts.time_limit = Duration::from_secs(env_u64("TOKQ_CHAOS_LIMIT_SECS").unwrap_or(8));
+    // `TOKQ_CHAOS_LEVEL=debug|trace` deepens the flight recorder for replay
+    // forensics (the ring buffer keeps the last events before a wedge).
+    match std::env::var("TOKQ_CHAOS_LEVEL").as_deref() {
+        Ok("debug") => opts.recorder = Some((16_384, tokq::obs::Level::Debug)),
+        Ok("trace") => opts.recorder = Some((65_536, tokq::obs::Level::Trace)),
+        _ => {}
+    }
+    let report = soak(&opts);
+    println!("chaos smoke: {}", report.summary());
+    for (i, op) in report.ops_applied.iter().enumerate() {
+        println!("  step {i:>2}: {op}");
+    }
+    if !report.passed() {
+        eprintln!(
+            "chaos smoke FAILED — replay with seed {} (violations: {:?}, timed_out: {})",
+            report.seed, report.violations, report.timed_out
+        );
+        std::process::exit(1);
+    }
+}

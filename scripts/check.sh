@@ -20,4 +20,7 @@ cargo test -q
 echo "==> model-checker smoke: bounded exploration of arbiter + baselines"
 cargo run --release --quiet --example explore_smoke
 
+echo "==> chaos smoke: seeded fault schedule against a live 5-node cluster"
+cargo run --release --quiet --example chaos_smoke
+
 echo "==> all checks passed"

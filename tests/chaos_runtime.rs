@@ -1,0 +1,239 @@
+//! Chaos soaking of the live runtime: seeded randomized fault schedules
+//! (crash/recover, partition/heal, loss bursts) against real clusters,
+//! with the online epoch-tagged safety checker asserting mutual exclusion
+//! throughout. A failed soak prints its seed — re-running with that seed
+//! replays the identical fault schedule.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use tokq::core::chaos::{schedule, soak, ChaosOp, SoakOptions};
+use tokq::core::{Cluster, NetOptions};
+use tokq::protocol::arbiter::{ArbiterConfig, RecoveryConfig};
+use tokq::protocol::types::TimeDelta;
+
+fn quick_ft() -> ArbiterConfig {
+    ArbiterConfig {
+        recovery: Some(RecoveryConfig {
+            token_wait_base: TimeDelta::from_millis(100),
+            token_wait_per_position: TimeDelta::from_millis(25),
+            enquiry_timeout: TimeDelta::from_millis(50),
+            handover_watch: TimeDelta::from_millis(200),
+            probe_timeout: TimeDelta::from_millis(50),
+        }),
+        request_retry: Some(TimeDelta::from_millis(250)),
+        ..ArbiterConfig::basic()
+            .with_t_collect(TimeDelta::from_millis(1))
+            .with_t_forward(TimeDelta::from_millis(1))
+    }
+}
+
+/// First seed at or after `start` whose schedule mixes all three fault
+/// kinds (crash + partition + loss), so every soak below is a genuine
+/// combined-fault run, not whatever one seed happens to roll.
+fn full_mix_seed(start: u64) -> u64 {
+    (start..start + 1_000)
+        .find(|&s| {
+            let plan = schedule(s, 5, 40);
+            plan.iter().any(|o| matches!(o, ChaosOp::Crash(_)))
+                && plan.iter().any(|o| matches!(o, ChaosOp::Partition(_)))
+                && plan.iter().any(|o| matches!(o, ChaosOp::LossBurst(_)))
+        })
+        .expect("a crash+partition+loss seed within 1000 tries")
+}
+
+fn run_soak(seed: u64, tcp: bool) {
+    let mut opts = SoakOptions::quick(5, seed);
+    opts.tcp = tcp;
+    let report = soak(&opts);
+    assert!(
+        report.violations.is_empty(),
+        "mutual exclusion violated — replay with seed {}: {:?}\nschedule: {:?}",
+        report.seed,
+        report.violations,
+        report.ops_applied,
+    );
+    assert!(
+        !report.timed_out && report.entries >= 500,
+        "soak stalled — replay with seed {}: {}",
+        report.seed,
+        report.summary(),
+    );
+    assert!(
+        report.crashes >= 1,
+        "schedule had no crash: {}",
+        report.summary()
+    );
+    assert!(
+        report.partitions >= 1,
+        "schedule had no partition: {}",
+        report.summary()
+    );
+    assert!(
+        report.loss_bursts >= 1,
+        "schedule had no loss burst: {}",
+        report.summary()
+    );
+}
+
+#[test]
+fn chaos_soak_channel_schedule_a() {
+    run_soak(full_mix_seed(1), false);
+}
+
+#[test]
+fn chaos_soak_channel_schedule_b() {
+    run_soak(full_mix_seed(1_000), false);
+}
+
+#[test]
+fn chaos_soak_tcp_schedule_c() {
+    run_soak(full_mix_seed(2_000), true);
+}
+
+#[test]
+fn healed_tcp_partition_drains_retry_queue() {
+    let cluster = Cluster::builder(3).config(quick_ft()).tcp().build();
+    let metrics = cluster.metrics_handle();
+    // Healthy baseline: the lock works over TCP.
+    drop(cluster.handle(0).lock());
+
+    // Cut node 2 off. Its REQUESTs to the arbiter (and anything sent back)
+    // park in the senders' retry queues instead of being abandoned.
+    cluster.partition(&[&[0, 1], &[2]]);
+    let h2 = cluster.handle(2);
+    assert!(
+        h2.try_lock_for(Duration::from_millis(300)).is_none(),
+        "a partitioned node must not acquire the lock"
+    );
+    // The majority keeps working through the partition.
+    drop(cluster.handle(1).lock());
+
+    cluster.heal();
+    // After the heal the parked frames drain and the minority node's
+    // (re-tried) request goes through.
+    let guard = h2
+        .try_lock_for(Duration::from_secs(10))
+        .expect("healed node must acquire the lock");
+    drop(guard);
+
+    assert!(
+        metrics.frames_requeued() > 0,
+        "partition should have parked frames for retry"
+    );
+    assert_eq!(
+        metrics.frames_abandoned(),
+        0,
+        "no frame may be abandoned: the retry queue must absorb the partition"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn crash_recover_out_of_range_are_noops() {
+    let cluster = Cluster::builder(2).config(quick_ft()).build();
+    assert!(!cluster.crash(7), "out-of-range crash must refuse");
+    assert!(!cluster.recover(7), "out-of-range recover must refuse");
+    assert!(cluster.crash(1));
+    assert!(cluster.recover(1));
+    // The cluster is still functional after all of the above.
+    drop(cluster.handle(0).lock());
+    cluster.shutdown();
+}
+
+#[test]
+fn waiter_survives_crash_and_rerequests_on_recovery() {
+    let cluster = Cluster::builder(2).config(quick_ft()).build();
+    let metrics = cluster.metrics_handle();
+    // Node 1 holds the lock so node 0's request stays pending.
+    let g1 = cluster.handle(1).lock();
+    let h0 = cluster.handle(0);
+    let waiter = std::thread::spawn(move || h0.try_lock_for(Duration::from_secs(30)));
+    std::thread::sleep(Duration::from_millis(100)); // request reaches node 0
+    cluster.crash(0);
+    std::thread::sleep(Duration::from_millis(50));
+    cluster.recover(0); // re-requests on behalf of the surviving waiter
+    std::thread::sleep(Duration::from_millis(100));
+    drop(g1);
+    let g0 = waiter.join().expect("waiter thread");
+    assert!(
+        g0.is_some(),
+        "crash-surviving waiter must eventually acquire"
+    );
+    drop(g0);
+    cluster.shutdown();
+    assert!(
+        metrics.cs_rerequests_total() >= 1,
+        "recovery re-request must be counted separately (got {})",
+        metrics.cs_rerequests_total()
+    );
+    assert_eq!(
+        metrics.cs_requests_total(),
+        2,
+        "only the two fresh requests count as fresh demand"
+    );
+}
+
+#[test]
+fn stale_release_after_crash_is_ignored() {
+    let cluster = Cluster::builder(2).config(quick_ft()).build();
+    let metrics = cluster.metrics_handle();
+    let guard = cluster.handle(0).lock();
+    cluster.crash(0); // the guard's critical section dies with the node
+    std::thread::sleep(Duration::from_millis(50));
+    cluster.recover(0);
+    std::thread::sleep(Duration::from_millis(50));
+    drop(guard); // generation-tagged: must NOT complete anybody's CS
+    std::thread::sleep(Duration::from_millis(100));
+    cluster.shutdown();
+    assert_eq!(
+        metrics.notes().get("stale_release_ignored").copied(),
+        Some(1),
+        "the pre-crash guard's release must be recognized as stale"
+    );
+    assert_eq!(
+        metrics.cs_completed_total(),
+        0,
+        "a stale release must not count as a completed critical section"
+    );
+}
+
+proptest! {
+    // Whole live clusters per case: keep the case count low and the runs
+    // short — the three dedicated soaks above carry the volume.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Satellite: configured network loss + partition/heal schedules never
+    /// violate the online safety checker on a 3-node in-process cluster.
+    /// Ambient `NetOptions` loss persists for the whole run (heal clears
+    /// only injected panel faults), so the progress bar is deliberately
+    /// modest — safety is the property under test.
+    #[test]
+    fn lossy_partition_heal_schedules_stay_safe(
+        seed in 0u64..1_000,
+        loss in 0.0f64..0.10,
+    ) {
+        let mut opts = SoakOptions::quick(3, seed);
+        opts.ops = 12;
+        opts.target_entries = 40;
+        opts.time_limit = Duration::from_secs(15);
+        opts.net = NetOptions::delayed(
+            Duration::from_micros(200),
+            Duration::from_micros(100),
+        )
+        .lossy(loss);
+        let report = soak(&opts);
+        prop_assert!(
+            report.violations.is_empty(),
+            "violation at seed {} loss {loss}: {:?}",
+            report.seed,
+            report.violations
+        );
+        prop_assert!(
+            report.entries >= 20,
+            "no meaningful progress at seed {} loss {loss}: {}",
+            report.seed,
+            report.summary()
+        );
+    }
+}

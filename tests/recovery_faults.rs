@@ -233,3 +233,72 @@ fn token_stranded_on_island_is_regenerated() {
     assert!(r.cs_measured >= 2_000, "stranded token never replaced");
     assert!(r.note_count("token_regenerated") >= 1, "{:?}", r.notes);
 }
+
+#[test]
+fn handover_repair_survives_crash_of_the_elected_arbiter() {
+    // Wedge found by the chaos soak harness (replay: chaos seed 2000): a
+    // node elected by NEW-ARBITER round R crashes before sealing its own
+    // first broadcast, then recovers. `on_crash` keeps `last_round`, so a
+    // watcher's point-to-point re-send of the *same* round-R broadcast
+    // (paper §6 lost-handover repair) was discarded as stale — while the
+    // recovered node kept answering probes, so the probe-timeout takeover
+    // never fired either. Every requester then looped PROBE -> PROBE-ACK
+    // -> NEW-ARBITER forever. Drive the state machine through that exact
+    // sequence and require the repair to be accepted.
+    use tokq::protocol::arbiter::{ArbiterMsg, ArbiterNode};
+    use tokq::protocol::qlist::QList;
+    use tokq::protocol::{Action, Input, Note, Protocol};
+
+    let mut node = ArbiterNode::new(NodeId(1), 3, ft());
+    node.step(Input::Start);
+
+    let election = ArbiterMsg::NewArbiter {
+        arbiter: NodeId(1),
+        q: QList::new(),
+        prev: NodeId(0),
+        round: 5,
+        counter: 1,
+        epoch: 0,
+        monitor: None,
+    };
+    let out = node.step(Input::Deliver {
+        from: NodeId(0),
+        msg: election.clone(),
+    });
+    assert!(
+        out.iter()
+            .any(|a| matches!(a, Action::Note(Note::BecameArbiter))),
+        "the election broadcast must seat the arbiter: {out:?}"
+    );
+
+    node.step(Input::Crash);
+    node.step(Input::Recover);
+
+    // The recovered node answers probes as a healthy non-arbiter...
+    let out = node.step(Input::Deliver {
+        from: NodeId(0),
+        msg: ArbiterMsg::Probe,
+    });
+    assert!(
+        out.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: ArbiterMsg::ProbeAck { arbiter: false },
+                ..
+            }
+        )),
+        "a recovered node must report it lost the arbiter role: {out:?}"
+    );
+
+    // ...so the watcher re-sends the round-5 election verbatim. The node
+    // must accept the repair instead of discarding it as a stale round.
+    let out = node.step(Input::Deliver {
+        from: NodeId(0),
+        msg: election,
+    });
+    assert!(
+        out.iter()
+            .any(|a| matches!(a, Action::Note(Note::BecameArbiter))),
+        "the lost-handover repair must re-seat the arbiter: {out:?}"
+    );
+}
