@@ -22,9 +22,9 @@ fn bench_lock(c: &mut Criterion) {
             &n,
             |b, &n| {
                 let cluster = Cluster::builder(n).config(quick_config()).build();
-                let handle = cluster.handle(0);
+                let handle = cluster.handle(0).expect("in range");
                 b.iter(|| {
-                    let g = handle.lock();
+                    let g = handle.lock().expect("granted");
                     std::hint::black_box(&g);
                 });
                 cluster.shutdown();
@@ -33,12 +33,12 @@ fn bench_lock(c: &mut Criterion) {
     }
     g.bench_function("contended_pair", |b| {
         let cluster = Cluster::builder(2).config(quick_config()).build();
-        let a = cluster.handle(0);
-        let bh = cluster.handle(1);
+        let a = cluster.handle(0).expect("in range");
+        let bh = cluster.handle(1).expect("in range");
         b.iter(|| {
-            let g1 = a.lock();
+            let g1 = a.lock().expect("granted");
             drop(g1);
-            let g2 = bh.lock();
+            let g2 = bh.lock().expect("granted");
             drop(g2);
         });
         cluster.shutdown();

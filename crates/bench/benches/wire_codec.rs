@@ -1,6 +1,7 @@
 //! Microbenchmark: wire codec encode/decode throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tokq_core::service::ShardId;
 use tokq_core::wire::{decode, encode};
 use tokq_protocol::arbiter::{ArbiterMsg, Token};
 use tokq_protocol::qlist::Entry;
@@ -24,18 +25,18 @@ fn bench_wire(c: &mut Criterion) {
         hops: 1,
     };
     g.bench_function("encode_request", |b| {
-        b.iter(|| std::hint::black_box(encode(&small)))
+        b.iter(|| std::hint::black_box(encode(ShardId(0), &small)))
     });
-    let frame = encode(&small);
+    let frame = encode(ShardId(0), &small);
     g.bench_function("decode_request", |b| {
         b.iter(|| std::hint::black_box(decode(&frame).unwrap()))
     });
     for len in [10u32, 100] {
         let msg = ArbiterMsg::Privilege(token_with_queue(len));
         g.bench_with_input(BenchmarkId::new("encode_privilege", len), &msg, |b, msg| {
-            b.iter(|| std::hint::black_box(encode(msg)))
+            b.iter(|| std::hint::black_box(encode(ShardId(0), msg)))
         });
-        let frame = encode(&msg);
+        let frame = encode(ShardId(0), &msg);
         g.bench_with_input(
             BenchmarkId::new("decode_privilege", len),
             &frame,

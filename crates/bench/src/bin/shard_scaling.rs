@@ -1,0 +1,209 @@
+//! Shard-scaling benchmark: aggregate critical-section throughput of the
+//! sharded lock service at 1, 2, 4 and 8 shards under uniform multi-resource
+//! contention.
+//!
+//! Each run spins up a real threaded cluster, spreads one worker per
+//! (node, resource) pair over resources chosen to land on distinct shards,
+//! and measures completed critical sections over a fixed wall-clock window.
+//! Because shards are independent protocol instances, aggregate throughput
+//! should scale with the shard count until workers (not the token rotation)
+//! become the bottleneck.
+//!
+//! ```text
+//! cargo run --release -p tokq-bench --bin shard_scaling -- [--nodes N]
+//!     [--window-ms MS] [--out PATH]
+//! ```
+//!
+//! Writes a JSON summary (default `results/BENCH_shards.json`).
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::value::Value;
+use tokq_core::{Cluster, ResourceId, ShardId};
+use tokq_protocol::arbiter::ArbiterConfig;
+use tokq_protocol::types::TimeDelta;
+
+const SHARD_COUNTS: [u16; 4] = [1, 2, 4, 8];
+
+struct Args {
+    nodes: usize,
+    window: Duration,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        nodes: 4,
+        window: Duration::from_millis(2_000),
+        out: std::path::PathBuf::from("results/BENCH_shards.json"),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--nodes" => {
+                args.nodes = argv
+                    .next()
+                    .ok_or("--nodes needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?;
+            }
+            "--window-ms" => {
+                let ms: u64 = argv
+                    .next()
+                    .ok_or("--window-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--window-ms: {e}"))?;
+                args.window = Duration::from_millis(ms);
+            }
+            "--out" => {
+                args.out = argv.next().ok_or("--out needs a value")?.into();
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Resource names landing on `count` distinct shards of a `shards`-shard
+/// cluster, so the offered load is spread uniformly over every protocol
+/// instance.
+fn resources_on_distinct_shards(shards: u16, count: usize) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut seen = BTreeSet::new();
+    for i in 0u64.. {
+        let name = format!("res/{i}");
+        if seen.insert(ResourceId::new(name.as_str()).shard(shards)) {
+            names.push(name);
+            if names.len() == count {
+                break;
+            }
+        }
+    }
+    names
+}
+
+/// One measurement: `nodes` nodes, `shards` shards, one worker per
+/// (node, resource) pair hammering the lock for `window`. Returns
+/// (total CS completed, per-shard CS counts).
+fn run_once(nodes: usize, shards: u16, window: Duration) -> (u64, Vec<u64>) {
+    // Short phases so the rotation, not the collection window, dominates.
+    let config = ArbiterConfig::basic()
+        .with_t_collect(TimeDelta::from_micros(200))
+        .with_t_forward(TimeDelta::from_micros(200));
+    let cluster = Arc::new(
+        Cluster::builder(nodes)
+            .shards(shards)
+            .config(config)
+            .build(),
+    );
+    let resources = resources_on_distinct_shards(shards, shards as usize);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for node in 0..nodes {
+        for name in &resources {
+            let handle = cluster
+                .resource_on(node, name.as_str())
+                .expect("node in range");
+            let stop = Arc::clone(&stop);
+            workers.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match handle.try_lock_for(Duration::from_secs(5)) {
+                        Ok(guard) => drop(guard),
+                        Err(_) => break,
+                    }
+                }
+            }));
+        }
+    }
+
+    // Warm up, then count completions over the measurement window only.
+    std::thread::sleep(window / 4);
+    let metrics = cluster.metrics_handle();
+    let before_total = metrics.cs_completed_total();
+    let before_shards: Vec<u64> = (0..shards)
+        .map(|s| metrics.cs_completed_on(ShardId(s)))
+        .collect();
+    let start = Instant::now();
+    std::thread::sleep(window);
+    let elapsed = start.elapsed();
+    let after_total = metrics.cs_completed_total();
+    let after_shards: Vec<u64> = (0..shards)
+        .map(|s| metrics.cs_completed_on(ShardId(s)))
+        .collect();
+
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+    match Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => unreachable!("workers joined"),
+    }
+
+    let per_shard: Vec<u64> = after_shards
+        .iter()
+        .zip(&before_shards)
+        .map(|(a, b)| a.saturating_sub(*b))
+        .collect();
+    // Normalize to the nominal window so rows are comparable even if the
+    // sleep overshot.
+    let total = after_total - before_total;
+    let scaled = (total as f64 * window.as_secs_f64() / elapsed.as_secs_f64()) as u64;
+    (scaled, per_shard)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("shard_scaling: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut rows = Vec::new();
+    let mut baseline = 0u64;
+    for &shards in &SHARD_COUNTS {
+        let (total, per_shard) = run_once(args.nodes, shards, args.window);
+        let throughput = total as f64 / args.window.as_secs_f64();
+        if shards == 1 {
+            baseline = total.max(1);
+        }
+        let speedup = total as f64 / baseline.max(1) as f64;
+        println!(
+            "shards {shards:>2}: {total:>7} CS in {:?}  ({throughput:>9.1} CS/s, {speedup:>4.2}x vs 1 shard)  per-shard {per_shard:?}",
+            args.window
+        );
+        rows.push(Value::Map(vec![
+            ("shards".into(), Value::U64(u64::from(shards))),
+            ("cs_completed".into(), Value::U64(total)),
+            ("cs_per_sec".into(), Value::F64(throughput)),
+            ("speedup_vs_1_shard".into(), Value::F64(speedup)),
+            (
+                "per_shard".into(),
+                Value::Seq(per_shard.into_iter().map(Value::U64).collect()),
+            ),
+        ]));
+    }
+
+    let doc = Value::Map(vec![
+        ("bench".into(), Value::Str("shard_scaling".into())),
+        ("nodes".into(), Value::U64(args.nodes as u64)),
+        (
+            "window_ms".into(),
+            Value::U64(args.window.as_millis() as u64),
+        ),
+        ("rows".into(), Value::Seq(rows)),
+    ]);
+    if let Some(dir) = args.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&args.out, tokq_obs::json::render(&doc) + "\n").expect("write output");
+    println!("wrote {}", args.out.display());
+}

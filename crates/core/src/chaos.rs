@@ -51,6 +51,7 @@ use tokq_protocol::types::TimeDelta;
 
 use crate::cluster::Cluster;
 use crate::metrics::ClusterMetrics;
+use crate::service::LockError;
 use crate::transport::NetOptions;
 
 // ---------------------------------------------------------------------------
@@ -434,6 +435,14 @@ pub struct SoakOptions {
     pub lock_timeout: Duration,
     /// How long each worker holds the critical section.
     pub hold: Duration,
+    /// Number of shards the cluster runs (1 = classic single lock).
+    pub shards: u16,
+    /// Named resources the workers contend on. Empty means the legacy
+    /// single-lock path (every worker locks through
+    /// [`Cluster::handle`], i.e. shard 0). Non-empty spawns one worker
+    /// per node × resource, each checked by its shard's own
+    /// [`SafetyChecker`].
+    pub resources: Vec<String>,
     /// Run over loopback TCP instead of in-process channels.
     pub tcp: bool,
     /// Channel-transport options (ignored in TCP mode).
@@ -472,11 +481,43 @@ impl SoakOptions {
             time_limit: Duration::from_secs(60),
             lock_timeout: Duration::from_millis(250),
             hold: Duration::from_micros(100),
+            shards: 1,
+            resources: Vec::new(),
             tcp: false,
             net: NetOptions::instant(),
             config,
             recorder: Some((16_384, Level::Info)),
         }
+    }
+
+    /// Chaos-tuned defaults for a multi-resource soak over `shards`
+    /// shards: the [`SoakOptions::quick`] schedule shape, with the §6
+    /// recovery timeouts and the grace windows scaled by the shard count.
+    ///
+    /// The scaling is not optional tuning: timeout-based recovery
+    /// presumes a timing bound on how slow a live token holder can look,
+    /// and a K-shard soak runs K× the worker threads and K independent
+    /// timer wheels on the same cores. Keeping the single-shard
+    /// calibration would let scheduling delay alone push a live holder
+    /// past `token_wait`, regenerating a token that was never lost —
+    /// a violation of the synchrony assumption, not of the algorithm.
+    pub fn sharded(nodes: usize, seed: u64, shards: u16, resources: Vec<String>) -> Self {
+        let mut opts = Self::quick(nodes, seed);
+        opts.shards = shards.max(1);
+        opts.resources = resources;
+        let k = u64::from(opts.shards);
+        if let Some(rec) = opts.config.recovery.as_mut() {
+            rec.token_wait_base = TimeDelta::from_millis(100 * k);
+            rec.token_wait_per_position = TimeDelta::from_millis(25 * k);
+            rec.enquiry_timeout = TimeDelta::from_millis(50 * k);
+            rec.handover_watch = TimeDelta::from_millis(200 * k);
+            rec.probe_timeout = TimeDelta::from_millis(50 * k);
+        }
+        let k32 = opts.shards as u32;
+        opts.heal_grace = Duration::from_millis(300) * k32;
+        opts.lock_timeout = Duration::from_millis(250) * k32;
+        opts.time_limit = Duration::from_secs(60) + Duration::from_secs(15) * (k32 - 1);
+        opts
     }
 }
 
@@ -485,10 +526,12 @@ impl SoakOptions {
 pub struct SoakReport {
     /// The schedule seed (replay key).
     pub seed: u64,
-    /// Clean CS entries completed.
+    /// Clean CS entries completed, summed over all shards.
     pub entries: u64,
-    /// All CS entries observed (clean + fault-era).
+    /// All CS entries observed (clean + fault-era), summed over shards.
     pub entries_started: u64,
+    /// Clean CS entries per shard (index = shard id).
+    pub entries_by_shard: Vec<u64>,
     /// Mutual-exclusion violations, empty on a safe run.
     pub violations: Vec<String>,
     /// The applied schedule, rendered (replay/debugging aid).
@@ -529,12 +572,17 @@ impl SoakReport {
     }
 }
 
-/// Runs one seeded chaos soak: builds the cluster, spawns one lock-worker
-/// per node, applies the schedule derived from [`SoakOptions::seed`], then
-/// heals everything and drains until the entry target or the time limit.
-/// On violation the flight recorder (if attached) is dumped to stderr.
+/// Runs one seeded chaos soak: builds the cluster, spawns lock workers
+/// (one per node on the legacy path, one per node × resource when
+/// [`SoakOptions::resources`] names resources), applies the schedule
+/// derived from [`SoakOptions::seed`], then heals everything and drains
+/// until the entry target or the time limit. Every shard has its own
+/// [`SafetyChecker`]; faults are mirrored into all of them. On violation
+/// the flight recorder (if attached) is dumped to stderr.
 pub fn soak(opts: &SoakOptions) -> SoakReport {
-    let mut builder = Cluster::builder(opts.nodes).config(opts.config.clone());
+    let mut builder = Cluster::builder(opts.nodes)
+        .config(opts.config.clone())
+        .shards(opts.shards.max(1));
     if opts.tcp {
         builder = builder.tcp();
     } else {
@@ -545,31 +593,73 @@ pub fn soak(opts: &SoakOptions) -> SoakReport {
     }
     let cluster = builder.build();
     let metrics = cluster.metrics_handle();
-    let checker = SafetyChecker::new(opts.nodes);
+    let checkers: Vec<SafetyChecker> = (0..cluster.shards())
+        .map(|_| SafetyChecker::new(opts.nodes))
+        .collect();
     let stop = Arc::new(AtomicBool::new(false));
     let deadline = Instant::now() + opts.time_limit;
 
-    let mut workers = Vec::with_capacity(opts.nodes);
-    for i in 0..opts.nodes {
-        let handle = cluster.handle(i);
-        let checker = checker.clone();
+    let spawn_worker = |name: String,
+                        handle: crate::cluster::ResourceHandle,
+                        checker: SafetyChecker,
+                        node: usize|
+     -> std::thread::JoinHandle<()> {
         let stop = Arc::clone(&stop);
         let (lock_timeout, hold) = (opts.lock_timeout, opts.hold);
-        workers.push(
-            std::thread::Builder::new()
-                .name(format!("chaos-worker-{i}"))
-                .spawn(move || {
-                    while !stop.load(Ordering::Relaxed) {
-                        if let Some(guard) = handle.try_lock_for(lock_timeout) {
-                            let ticket = checker.enter(i);
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match handle.try_lock_for(lock_timeout) {
+                        Ok(guard) => {
+                            let ticket = checker.enter(node);
                             std::thread::sleep(hold);
                             checker.exit(ticket);
                             drop(guard);
                         }
+                        Err(LockError::Timeout) => {}
+                        // Crashed node or shutdown race: errors return
+                        // instantly, so back off instead of hammering the
+                        // dead node's inbox — its waiters used to sit
+                        // quietly in the queue, and a tight NodeDown retry
+                        // loop would add churn the old blocking path never
+                        // had.
+                        Err(_) => std::thread::sleep(Duration::from_millis(50)),
                     }
-                })
-                .expect("spawn chaos worker"),
-        );
+                }
+            })
+            .expect("spawn chaos worker")
+    };
+
+    let mut workers = Vec::new();
+    if opts.resources.is_empty() {
+        for i in 0..opts.nodes {
+            let handle = cluster
+                .resource_on(i, "__mutex")
+                .expect("worker node in range");
+            let checker = checkers[handle.shard().index()].clone();
+            workers.push(spawn_worker(
+                format!("chaos-worker-{i}"),
+                handle,
+                checker,
+                i,
+            ));
+        }
+    } else {
+        for i in 0..opts.nodes {
+            for (r, name) in opts.resources.iter().enumerate() {
+                let handle = cluster
+                    .resource_on(i, name.as_str())
+                    .expect("worker node in range");
+                let checker = checkers[handle.shard().index() % checkers.len()].clone();
+                workers.push(spawn_worker(
+                    format!("chaos-worker-{i}-r{r}"),
+                    handle,
+                    checker,
+                    i,
+                ));
+            }
+        }
     }
 
     let plan = schedule(opts.seed, opts.nodes, opts.ops);
@@ -584,14 +674,18 @@ pub fn soak(opts: &SoakOptions) -> SoakReport {
         match op {
             ChaosOp::Crash(x) => {
                 crashes += 1;
-                // Checker first: the crash must be accounted for before it
-                // can have any effect.
-                checker.crash(*x);
-                cluster.crash(*x);
+                // Checkers first: the crash must be accounted for before
+                // it can have any effect (it hits every shard at once).
+                for c in &checkers {
+                    c.crash(*x);
+                }
+                cluster.crash(*x).expect("crash in-range node");
             }
             ChaosOp::Recover(x) => {
-                cluster.recover(*x);
-                checker.recover(*x);
+                cluster.recover(*x).expect("recover in-range node");
+                for c in &checkers {
+                    c.recover(*x);
+                }
             }
             ChaosOp::Partition(groups) => {
                 partitions += 1;
@@ -600,11 +694,13 @@ pub fn soak(opts: &SoakOptions) -> SoakReport {
                 for group in &groups[1..] {
                     for &node in group {
                         partition_suspects.insert(node);
-                        checker.isolate(node);
+                        for c in &checkers {
+                            c.isolate(node);
+                        }
                     }
                 }
                 let refs: Vec<&[usize]> = groups.iter().map(Vec::as_slice).collect();
-                cluster.partition(&refs);
+                cluster.partition(&refs).expect("partition in-range groups");
             }
             ChaosOp::Heal => {
                 cluster.heal(); // clears partitions and injected loss
@@ -614,7 +710,9 @@ pub fn soak(opts: &SoakOptions) -> SoakReport {
                 partition_suspects.clear();
                 lossy = false;
                 for node in 0..opts.nodes {
-                    checker.deisolate(node);
+                    for c in &checkers {
+                        c.deisolate(node);
+                    }
                 }
             }
             ChaosOp::LossBurst(pm) => {
@@ -622,7 +720,9 @@ pub fn soak(opts: &SoakOptions) -> SoakReport {
                 if !lossy {
                     lossy = true;
                     for node in 0..opts.nodes {
-                        checker.isolate(node);
+                        for c in &checkers {
+                            c.isolate(node);
+                        }
                     }
                 }
                 cluster.fault_panel().set_loss(f64::from(*pm) / 1000.0);
@@ -634,7 +734,9 @@ pub fn soak(opts: &SoakOptions) -> SoakReport {
                     lossy = false;
                     for node in 0..opts.nodes {
                         if !partition_suspects.contains(&node) {
-                            checker.deisolate(node);
+                            for c in &checkers {
+                                c.deisolate(node);
+                            }
                         }
                     }
                 }
@@ -646,8 +748,9 @@ pub fn soak(opts: &SoakOptions) -> SoakReport {
 
     // Drain: everything is healed (the schedule guarantees it); run until
     // the entry target or the deadline.
+    let total_entries = |cs: &[SafetyChecker]| cs.iter().map(SafetyChecker::clean_entries).sum();
     let mut timed_out = false;
-    while checker.clean_entries() < opts.target_entries {
+    while total_entries(&checkers) < opts.target_entries {
         if Instant::now() >= deadline {
             timed_out = true;
             break;
@@ -660,7 +763,15 @@ pub fn soak(opts: &SoakOptions) -> SoakReport {
         let _ = w.join();
     }
 
-    let violations = checker.violations();
+    let violations: Vec<String> = checkers
+        .iter()
+        .enumerate()
+        .flat_map(|(s, c)| {
+            c.violations()
+                .into_iter()
+                .map(move |v| format!("[shard {s}] {v}"))
+        })
+        .collect();
     if !violations.is_empty() || timed_out {
         if violations.is_empty() {
             eprintln!("chaos soak STALLED (seed {}):", opts.seed);
@@ -678,8 +789,9 @@ pub fn soak(opts: &SoakOptions) -> SoakReport {
 
     SoakReport {
         seed: opts.seed,
-        entries: checker.clean_entries(),
-        entries_started: checker.entries_started(),
+        entries: total_entries(&checkers),
+        entries_started: checkers.iter().map(SafetyChecker::entries_started).sum(),
+        entries_by_shard: checkers.iter().map(SafetyChecker::clean_entries).collect(),
         violations,
         ops_applied,
         crashes,

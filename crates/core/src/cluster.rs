@@ -1,10 +1,17 @@
 //! The user-facing runtime: an in-process cluster of arbiter nodes with a
-//! distributed-mutex API.
+//! sharded, multi-resource distributed-lock API.
+//!
+//! A [`Cluster`] runs `K` independent protocol instances (shards) on every
+//! node, all multiplexed over one transport mesh. Applications lock named
+//! resources — `cluster.resource("accounts/7").lock()?` — and the stable
+//! [`ResourceId`] hash decides which shard serializes each name. The
+//! single-lock API ([`Cluster::handle`]) remains as a thin shim over
+//! shard 0.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
 use tokq_obs::sink::JsonlWriter;
 use tokq_obs::{FlightRecorder, Level, Obs, Source};
 use tokq_protocol::api::ProtocolFactory;
@@ -13,9 +20,17 @@ use tokq_protocol::types::NodeId;
 
 use crate::fault::FaultPanel;
 use crate::metrics::ClusterMetrics;
-use crate::node::{NodeEvent, NodeLoop};
+use crate::node::{GrantReply, NodeEvent, NodeLoop};
+use crate::service::{FaultError, LockError, ResourceId, ShardId};
 use crate::tcp::{BackoffPolicy, TcpReceiver, TcpSender};
 use crate::transport::{ChannelTransport, Envelope, NetOptions, Wire};
+
+/// How long [`ResourceHandle::try_lock`] waits for the local fast path.
+///
+/// A truly zero-wait try-lock is meaningless here: even an uncontended
+/// grant crosses a channel to the node thread and back, so `try_lock`
+/// allows this short grace before reporting [`LockError::Timeout`].
+const TRY_LOCK_GRACE: Duration = Duration::from_millis(5);
 
 /// Builder for a [`Cluster`].
 ///
@@ -24,17 +39,17 @@ use crate::transport::{ChannelTransport, Envelope, NetOptions, Wire};
 /// ```
 /// use tokq_core::Cluster;
 ///
-/// let cluster = Cluster::builder(3).build();
-/// let handle = cluster.handle(1);
+/// let cluster = Cluster::builder(3).shards(4).build();
 /// {
-///     let _guard = handle.lock();
-///     // critical section
+///     let _guard = cluster.resource("accounts/7").lock().unwrap();
+///     // critical section for accounts/7 (and everything on its shard)
 /// }
 /// cluster.shutdown();
 /// ```
 #[derive(Debug)]
 pub struct ClusterBuilder {
     n: usize,
+    shards: u16,
     config: ArbiterConfig,
     net: NetOptions,
     tcp: bool,
@@ -43,10 +58,25 @@ pub struct ClusterBuilder {
 }
 
 impl ClusterBuilder {
-    /// Sets the protocol configuration (variant, phase durations, …).
+    /// Sets the protocol configuration (variant, phase durations, …),
+    /// applied identically to every shard.
     #[must_use]
     pub fn config(mut self, config: ArbiterConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Sets the number of independent protocol instances (shards) the
+    /// cluster runs. Defaults to 1. Resources hash onto shards; more
+    /// shards means more critical sections can proceed concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn shards(mut self, shards: u16) -> Self {
+        assert!(shards > 0, "cluster needs at least one shard");
+        self.shards = shards;
         self
     }
 
@@ -60,7 +90,8 @@ impl ClusterBuilder {
     /// Moves inter-node traffic onto real loopback TCP sockets (framed by
     /// [`crate::tcp`]) instead of in-process channels. `net` delay/loss
     /// options do not apply in this mode — the loopback stack is the
-    /// network.
+    /// network. All shards share the one TCP mesh; frames carry their
+    /// shard id in the wire header.
     #[must_use]
     pub fn tcp(mut self) -> Self {
         self.tcp = true;
@@ -106,7 +137,8 @@ impl ClusterBuilder {
         }
         let metrics = ClusterMetrics::with_obs(obs);
         // One fault surface shared by whichever transport carries frames:
-        // `Cluster::partition`/`heal` act through it at runtime.
+        // `Cluster::partition`/`heal` act through it at runtime. Faults are
+        // per-link, so they hit every shard crossing that link alike.
         let fault_panel = FaultPanel::new(self.n, metrics.obs());
         let mut node_txs = Vec::with_capacity(self.n);
         let mut node_rxs = Vec::with_capacity(self.n);
@@ -170,9 +202,12 @@ impl ClusterBuilder {
 
         let mut threads = Vec::with_capacity(self.n);
         for (i, rx) in node_rxs.into_iter().enumerate() {
-            let protocol = self.config.build(NodeId::from_index(i), self.n);
+            let id = NodeId::from_index(i);
+            let protocols = (0..self.shards)
+                .map(|s| self.config.build_shard(id, self.n, s))
+                .collect();
             let node_loop =
-                NodeLoop::new(protocol, rx, Arc::clone(&transport), Arc::clone(&metrics));
+                NodeLoop::new(protocols, rx, Arc::clone(&transport), Arc::clone(&metrics));
             let h = std::thread::Builder::new()
                 .name(format!("tokq-node-{i}"))
                 .spawn(move || node_loop.run())
@@ -180,6 +215,8 @@ impl ClusterBuilder {
             threads.push(h);
         }
         Cluster {
+            n: self.n,
+            shards: self.shards,
             node_txs,
             threads,
             pump_threads,
@@ -193,11 +230,15 @@ impl ClusterBuilder {
 
 /// A running in-process cluster of arbiter-mutex nodes.
 ///
-/// Each node runs on its own thread; messages travel as encoded frames
-/// through a (optionally delayed and lossy) channel transport. The cluster
-/// is the distributed-systems equivalent of a `Mutex`: obtain per-node
-/// [`MutexHandle`]s and lock through them.
+/// Each node runs on its own thread and hosts one protocol instance per
+/// shard; messages travel as shard-tagged frames through a (optionally
+/// delayed and lossy) channel transport or a loopback TCP mesh. The
+/// cluster is the distributed-systems equivalent of a `Mutex` keyed by
+/// resource name: obtain [`ResourceHandle`]s via [`Cluster::resource`]
+/// and lock through them.
 pub struct Cluster {
+    n: usize,
+    shards: u16,
     node_txs: Vec<Sender<NodeEvent>>,
     threads: Vec<std::thread::JoinHandle<()>>,
     pump_threads: Vec<std::thread::JoinHandle<()>>,
@@ -210,17 +251,20 @@ pub struct Cluster {
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
-            .field("nodes", &self.node_txs.len())
+            .field("nodes", &self.n)
+            .field("shards", &self.shards)
             .field("tcp", &!self.tcp_receivers.is_empty())
             .finish_non_exhaustive()
     }
 }
 
 impl Cluster {
-    /// Starts building an `n`-node cluster with default configuration.
+    /// Starts building an `n`-node cluster with default configuration
+    /// (one shard, fault-tolerant protocol, instant channel transport).
     pub fn builder(n: usize) -> ClusterBuilder {
         ClusterBuilder {
             n,
+            shards: 1,
             config: ArbiterConfig::fault_tolerant(),
             net: NetOptions::instant(),
             tcp: false,
@@ -231,60 +275,129 @@ impl Cluster {
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.node_txs.len()
+        self.n
     }
 
     /// True when the cluster has no nodes (never; builder enforces ≥ 1).
     pub fn is_empty(&self) -> bool {
-        self.node_txs.is_empty()
+        self.n == 0
     }
 
-    /// A lock handle bound to `node`.
+    /// Number of shards (independent protocol instances).
+    pub fn shards(&self) -> u16 {
+        self.shards
+    }
+
+    /// A handle for locking the named resource, bound to the resource's
+    /// deterministic home node. The resource's shard is derived from its
+    /// name; two calls with the same name always address the same shard.
+    pub fn resource(&self, name: impl Into<ResourceId>) -> ResourceHandle {
+        let resource = name.into();
+        let node = resource.home_node(self.n);
+        self.resource_handle(resource, node)
+    }
+
+    /// Like [`Cluster::resource`] but locking through an explicit node
+    /// instead of the resource's home node.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `node` is out of range.
-    pub fn handle(&self, node: usize) -> MutexHandle {
-        MutexHandle {
+    /// [`LockError::NoSuchNode`] if `node` is out of range.
+    pub fn resource_on(
+        &self,
+        node: usize,
+        name: impl Into<ResourceId>,
+    ) -> Result<ResourceHandle, LockError> {
+        if node >= self.n {
+            return Err(LockError::NoSuchNode {
+                node,
+                nodes: self.n,
+            });
+        }
+        Ok(self.resource_handle(name.into(), node))
+    }
+
+    fn resource_handle(&self, resource: ResourceId, node: usize) -> ResourceHandle {
+        let shard = resource.shard(self.shards);
+        ResourceHandle {
+            resource,
+            shard,
             node: NodeId::from_index(node),
-            tx: self.node_txs[node].clone(),
+            tx: self.node_tx(node),
         }
     }
 
-    /// Crashes `node`: volatile protocol state is lost and the node stops
-    /// reacting until [`Cluster::recover`]. Returns `false` (with a warn
-    /// event, no panic) for an out-of-range node.
-    pub fn crash(&self, node: usize) -> bool {
-        let Some(tx) = self.node_txs.get(node) else {
-            self.warn_range("crash_out_of_range", node);
-            return false;
-        };
-        tx.send(NodeEvent::Crash).is_ok()
-    }
-
-    /// Recovers a crashed node with fresh state. Returns `false` (with a
-    /// warn event, no panic) for an out-of-range node.
-    pub fn recover(&self, node: usize) -> bool {
-        let Some(tx) = self.node_txs.get(node) else {
-            self.warn_range("recover_out_of_range", node);
-            return false;
-        };
-        tx.send(NodeEvent::Recover).is_ok()
-    }
-
-    fn warn_range(&self, name: &'static str, node: usize) {
-        let obs = self.metrics.obs();
-        if obs.enabled("node", Level::Info) {
-            obs.emit(
-                tokq_obs::Event::new("node", Level::Info, name)
-                    .field("node", &(node as u64))
-                    .field("n", &(self.node_txs.len() as u64)),
-            );
+    /// The inbox sender for `node`, or a dead sender (every send fails →
+    /// `ShuttingDown`) once the cluster has shut down.
+    fn node_tx(&self, node: usize) -> Sender<NodeEvent> {
+        match self.node_txs.get(node) {
+            Some(tx) => tx.clone(),
+            None => {
+                let (tx, _) = unbounded();
+                tx
+            }
         }
+    }
+
+    /// A single-lock handle bound to `node` — the documented
+    /// compatibility shim over **shard 0** for clusters used as one big
+    /// mutex. Sharded applications should use [`Cluster::resource`].
+    ///
+    /// # Errors
+    ///
+    /// [`LockError::NoSuchNode`] if `node` is out of range.
+    pub fn handle(&self, node: usize) -> Result<MutexHandle, LockError> {
+        if node >= self.n {
+            return Err(LockError::NoSuchNode {
+                node,
+                nodes: self.n,
+            });
+        }
+        Ok(MutexHandle {
+            inner: ResourceHandle {
+                resource: ResourceId::new("__mutex"),
+                shard: ShardId(0),
+                node: NodeId::from_index(node),
+                tx: self.node_tx(node),
+            },
+        })
+    }
+
+    /// Crashes `node`: volatile protocol state on every shard is lost and
+    /// the node stops reacting until [`Cluster::recover`].
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::NoSuchNode`] for an out-of-range node,
+    /// [`FaultError::ShuttingDown`] once the cluster has shut down.
+    pub fn crash(&self, node: usize) -> Result<(), FaultError> {
+        self.fault_send(node, NodeEvent::Crash)
+    }
+
+    /// Recovers a crashed node with fresh state on every shard.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::NoSuchNode`] for an out-of-range node,
+    /// [`FaultError::ShuttingDown`] once the cluster has shut down.
+    pub fn recover(&self, node: usize) -> Result<(), FaultError> {
+        self.fault_send(node, NodeEvent::Recover)
+    }
+
+    fn fault_send(&self, node: usize, ev: NodeEvent) -> Result<(), FaultError> {
+        if node >= self.n {
+            return Err(FaultError::NoSuchNode {
+                node,
+                nodes: self.n,
+            });
+        }
+        let tx = self.node_txs.get(node).ok_or(FaultError::ShuttingDown)?;
+        tx.send(ev).map_err(|_| FaultError::ShuttingDown)
     }
 
     /// The cluster's shared fault surface: per-link blocks, partitions,
-    /// and injected loss, mutable while the cluster runs.
+    /// and injected loss, mutable while the cluster runs. Faults act on
+    /// links, so they affect every shard crossing the link.
     pub fn fault_panel(&self) -> &FaultPanel {
         &self.fault_panel
     }
@@ -293,8 +406,24 @@ impl Cluster {
     /// exchange frames (see [`FaultPanel::partition`]). On the channel
     /// transport cross-partition frames drop; on TCP they park in retry
     /// queues and drain after [`Cluster::heal`].
-    pub fn partition(&self, groups: &[&[usize]]) {
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::NoSuchNode`] if any group names an out-of-range
+    /// node; no partition is installed in that case.
+    pub fn partition(&self, groups: &[&[usize]]) -> Result<(), FaultError> {
+        for group in groups {
+            for &node in *group {
+                if node >= self.n {
+                    return Err(FaultError::NoSuchNode {
+                        node,
+                        nodes: self.n,
+                    });
+                }
+            }
+        }
         self.fault_panel.partition(groups);
+        Ok(())
     }
 
     /// Heals all injected faults: every link unblocks and injected loss
@@ -303,7 +432,7 @@ impl Cluster {
         self.fault_panel.heal();
     }
 
-    /// Shared metrics (messages, completions, notes).
+    /// Shared metrics (messages, completions, notes, per-shard counts).
     pub fn metrics(&self) -> &ClusterMetrics {
         &self.metrics
     }
@@ -361,64 +490,165 @@ impl Drop for Cluster {
     }
 }
 
-/// A handle for requesting the distributed lock from one node.
+/// A handle for locking one named resource through one node.
 ///
-/// Clone freely; clones address the same node.
+/// Clone freely; clones address the same resource through the same node.
 #[derive(Debug, Clone)]
-pub struct MutexHandle {
+pub struct ResourceHandle {
+    resource: ResourceId,
+    shard: ShardId,
     node: NodeId,
     tx: Sender<NodeEvent>,
 }
 
-impl MutexHandle {
+impl ResourceHandle {
+    /// The resource this handle locks.
+    pub fn resource(&self) -> &ResourceId {
+        &self.resource
+    }
+
+    /// The shard serializing this resource.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
     /// The node this handle locks through.
     pub fn node(&self) -> NodeId {
         self.node
     }
 
-    /// Blocks until the distributed lock is granted, returning an RAII
+    /// Blocks until the resource's lock is granted, returning an RAII
     /// guard that releases on drop.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the cluster has shut down.
-    pub fn lock(&self) -> LockGuard {
-        self.try_lock_for(Duration::MAX)
-            .expect("cluster shut down while waiting for the lock")
+    /// [`LockError::NodeDown`] if the node is crashed,
+    /// [`LockError::ShuttingDown`] if the cluster shut down while
+    /// waiting.
+    pub fn lock(&self) -> Result<LockGuard, LockError> {
+        self.request(None)
     }
 
-    /// Like [`MutexHandle::lock`] with a timeout; `None` on timeout or
-    /// cluster shutdown. An abandoned grant is released automatically.
-    pub fn try_lock_for(&self, timeout: Duration) -> Option<LockGuard> {
-        let (grant_tx, grant_rx) = bounded::<u64>(1);
-        self.tx.send(NodeEvent::Acquire { grant: grant_tx }).ok()?;
-        let gen = if timeout == Duration::MAX {
-            grant_rx.recv().ok()?
-        } else {
-            grant_rx.recv_timeout(timeout).ok()?
+    /// Attempts the lock without queueing behind a long wait: gives the
+    /// grant a short grace (a few milliseconds — the request must cross
+    /// to the node thread and back even when uncontended) and reports
+    /// [`LockError::Timeout`] if it does not arrive.
+    ///
+    /// # Errors
+    ///
+    /// As [`ResourceHandle::try_lock_for`] with the built-in grace.
+    pub fn try_lock(&self) -> Result<LockGuard, LockError> {
+        self.request(Some(TRY_LOCK_GRACE))
+    }
+
+    /// Like [`ResourceHandle::lock`] with a timeout. An abandoned grant
+    /// (one that arrives after the timeout) is released automatically.
+    ///
+    /// # Errors
+    ///
+    /// [`LockError::Timeout`] if no grant arrived in time,
+    /// [`LockError::NodeDown`] if the node is crashed,
+    /// [`LockError::ShuttingDown`] if the cluster shut down.
+    pub fn try_lock_for(&self, timeout: Duration) -> Result<LockGuard, LockError> {
+        self.request(Some(timeout))
+    }
+
+    fn request(&self, timeout: Option<Duration>) -> Result<LockGuard, LockError> {
+        let (grant_tx, grant_rx) = bounded::<GrantReply>(1);
+        self.tx
+            .send(NodeEvent::Acquire {
+                shard: self.shard,
+                grant: grant_tx,
+            })
+            .map_err(|_| LockError::ShuttingDown)?;
+        let reply = match timeout {
+            None | Some(Duration::MAX) => grant_rx.recv().map_err(|_| LockError::ShuttingDown)?,
+            Some(d) => grant_rx.recv_timeout(d).map_err(|e| match e {
+                RecvTimeoutError::Timeout => LockError::Timeout,
+                RecvTimeoutError::Disconnected => LockError::ShuttingDown,
+            })?,
         };
-        Some(LockGuard {
+        let gen = reply?;
+        Ok(LockGuard {
             tx: self.tx.clone(),
+            shard: self.shard,
             gen,
         })
     }
 }
 
-/// RAII guard for the distributed critical section: the lock is held from
+/// A single-lock handle bound to one node: the compatibility shim over
+/// shard 0 (see [`Cluster::handle`]).
+///
+/// Clone freely; clones address the same node.
+#[derive(Debug, Clone)]
+pub struct MutexHandle {
+    inner: ResourceHandle,
+}
+
+impl MutexHandle {
+    /// The node this handle locks through.
+    pub fn node(&self) -> NodeId {
+        self.inner.node()
+    }
+
+    /// Blocks until the distributed lock is granted, returning an RAII
+    /// guard that releases on drop.
+    ///
+    /// # Errors
+    ///
+    /// As [`ResourceHandle::lock`].
+    pub fn lock(&self) -> Result<LockGuard, LockError> {
+        self.inner.lock()
+    }
+
+    /// Attempts the lock with a short built-in grace.
+    ///
+    /// # Errors
+    ///
+    /// As [`ResourceHandle::try_lock`].
+    pub fn try_lock(&self) -> Result<LockGuard, LockError> {
+        self.inner.try_lock()
+    }
+
+    /// Like [`MutexHandle::lock`] with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// As [`ResourceHandle::try_lock_for`].
+    pub fn try_lock_for(&self, timeout: Duration) -> Result<LockGuard, LockError> {
+        self.inner.try_lock_for(timeout)
+    }
+}
+
+/// RAII guard for a distributed critical section: the lock is held from
 /// grant until the guard drops.
 ///
-/// Guards are generation-tagged: if the granting node crashes while the
-/// guard is held, the eventual release is recognized as stale and ignored
-/// instead of ending a post-recovery critical section.
+/// Guards are generation-tagged per shard: if the granting node crashes
+/// while the guard is held, the eventual release is recognized as stale
+/// and ignored instead of ending a post-recovery critical section. Guards
+/// are deliberately not `Clone` — exactly one release per grant.
 #[derive(Debug)]
+#[must_use = "dropping the guard immediately releases the lock"]
 pub struct LockGuard {
     tx: Sender<NodeEvent>,
+    shard: ShardId,
     gen: u64,
+}
+
+impl LockGuard {
+    /// The shard whose critical section this guard holds.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
 }
 
 impl Drop for LockGuard {
     fn drop(&mut self) {
-        let _ = self.tx.send(NodeEvent::Release { gen: self.gen });
+        let _ = self.tx.send(NodeEvent::Release {
+            shard: self.shard,
+            gen: self.gen,
+        });
     }
 }
 
@@ -431,9 +661,9 @@ mod tests {
     fn single_node_lock_unlock() {
         let cluster = Cluster::builder(1).build();
         let metrics = cluster.metrics_handle();
-        let h = cluster.handle(0);
+        let h = cluster.handle(0).expect("in range");
         for _ in 0..3 {
-            let g = h.lock();
+            let g = h.lock().expect("granted");
             drop(g);
         }
         // Shutdown joins the node threads, so all releases are processed.
@@ -447,11 +677,11 @@ mod tests {
         let counter = Arc::new(AtomicU32::new(0));
         let mut joins = Vec::new();
         for i in 0..4 {
-            let h = cluster.handle(i);
+            let h = cluster.handle(i).expect("in range");
             let counter = Arc::clone(&counter);
             joins.push(std::thread::spawn(move || {
                 for _ in 0..10 {
-                    let _g = h.lock();
+                    let _g = h.lock().expect("granted");
                     // If two guards ever coexist this goes above 1.
                     let c = counter.fetch_add(1, Ordering::SeqCst);
                     assert_eq!(c, 0, "two nodes inside the critical section");
@@ -470,17 +700,67 @@ mod tests {
     }
 
     #[test]
-    fn try_lock_timeout_returns_none_and_recovers() {
+    fn try_lock_timeout_returns_err_and_recovers() {
         let cluster = Cluster::builder(2).build();
-        let a = cluster.handle(0);
-        let b = cluster.handle(1);
-        let g = a.lock();
+        let a = cluster.handle(0).expect("in range");
+        let b = cluster.handle(1).expect("in range");
+        let g = a.lock().expect("granted");
         // b cannot get it while a holds it.
-        assert!(b.try_lock_for(Duration::from_millis(100)).is_none());
+        assert_eq!(
+            b.try_lock_for(Duration::from_millis(100)).err(),
+            Some(LockError::Timeout)
+        );
         drop(g);
         // The abandoned grant auto-releases; b can lock now.
         let g2 = b.try_lock_for(Duration::from_secs(10)).expect("granted");
         drop(g2);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn out_of_range_apis_return_typed_errors() {
+        let cluster = Cluster::builder(2).build();
+        assert_eq!(
+            cluster.handle(7).err(),
+            Some(LockError::NoSuchNode { node: 7, nodes: 2 })
+        );
+        assert_eq!(
+            cluster.resource_on(9, "x").err(),
+            Some(LockError::NoSuchNode { node: 9, nodes: 2 })
+        );
+        assert_eq!(
+            cluster.crash(5),
+            Err(FaultError::NoSuchNode { node: 5, nodes: 2 })
+        );
+        assert_eq!(
+            cluster.recover(5),
+            Err(FaultError::NoSuchNode { node: 5, nodes: 2 })
+        );
+        assert_eq!(
+            cluster.partition(&[&[0], &[1, 6]]),
+            Err(FaultError::NoSuchNode { node: 6, nodes: 2 })
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn resources_map_onto_distinct_shards_and_lock_independently() {
+        let cluster = Cluster::builder(2).shards(4).build();
+        assert_eq!(cluster.shards(), 4);
+        // Find two resources on different shards.
+        let a = cluster.resource("res/a");
+        let mut b = cluster.resource("res/b");
+        for i in 0.. {
+            if b.shard() != a.shard() {
+                break;
+            }
+            b = cluster.resource(format!("res/b{i}"));
+        }
+        // Holding a's lock must not block b: different token instances.
+        let ga = a.lock().expect("granted a");
+        let gb = b.try_lock_for(Duration::from_secs(10)).expect("granted b");
+        drop(gb);
+        drop(ga);
         cluster.shutdown();
     }
 }

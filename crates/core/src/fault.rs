@@ -3,7 +3,7 @@
 //! A [`FaultPanel`] is a shared control surface the transports consult on
 //! every frame: a per-link block matrix (partitions), plus an injected
 //! extra loss probability (loss bursts). Unlike the simulator's
-//! [`tokq_simnet`-style] scripted fault plans, the panel is mutated *while
+//! `tokq_simnet`-style scripted fault plans, the panel is mutated *while
 //! the cluster runs* — by tests, by the chaos soak driver
 //! ([`crate::chaos`]), or by an operator poking at a live system. Every
 //! transition emits a structured obs event on the `fault` target, so a

@@ -13,9 +13,25 @@
 //! use tokq_core::Cluster;
 //!
 //! let cluster = Cluster::builder(3).build();
-//! let handle = cluster.handle(0);
+//! let handle = cluster.handle(0).unwrap();
 //! {
-//!     let _guard = handle.lock(); // distributed critical section
+//!     let _guard = handle.lock().unwrap(); // distributed critical section
+//! }
+//! cluster.shutdown();
+//! ```
+//!
+//! # Multi-resource locking
+//!
+//! A cluster can run several independent protocol instances (**shards**)
+//! over one transport mesh and serialize many named resources at once:
+//!
+//! ```
+//! use tokq_core::Cluster;
+//!
+//! let cluster = Cluster::builder(3).shards(4).build();
+//! {
+//!     let _accounts = cluster.resource("accounts/7").lock().unwrap();
+//!     // a resource on another shard locks concurrently
 //! }
 //! cluster.shutdown();
 //! ```
@@ -27,7 +43,7 @@
 //! (token-loss detection, two-phase invalidation, arbiter takeover).
 //! [`Cluster::crash`] and [`Cluster::recover`] inject real node failures.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
@@ -36,13 +52,15 @@ pub mod cluster;
 pub mod fault;
 pub mod metrics;
 mod node;
+pub mod service;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
 
 pub use chaos::{soak, SafetyChecker, SoakOptions, SoakReport};
-pub use cluster::{Cluster, ClusterBuilder, LockGuard, MutexHandle};
+pub use cluster::{Cluster, ClusterBuilder, LockGuard, MutexHandle, ResourceHandle};
 pub use fault::FaultPanel;
 pub use metrics::ClusterMetrics;
+pub use service::{FaultError, LockError, ResourceId, ShardId};
 pub use transport::NetOptions;
 pub use wire::{decode, encode, WireError};

@@ -8,14 +8,63 @@
 //! reachable through [`ClusterMetrics::obs`].
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use tokq_obs::{Counter, Obs, Source};
+
+use crate::service::ShardId;
 
 /// Counter namespace for per-kind transmitted messages.
 pub(crate) const MSG_SENT: &str = "msg_sent";
 /// Counter namespace for protocol notes.
 pub(crate) const NOTE: &str = "note";
+
+/// Per-shard snapshot labels; clusters with more than 16 shards lump the
+/// tail into one `"overflow"` label rather than allocate.
+const SHARD_LABELS: [&str; 16] = [
+    "0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15",
+];
+
+fn shard_label(shard: ShardId) -> &'static str {
+    SHARD_LABELS
+        .get(shard.index())
+        .copied()
+        .unwrap_or("overflow")
+}
+
+/// Fixed per-shard counter slots: shards 0..16 each get their own atomic
+/// and the tail shares the final overflow slot. Incrementing is a single
+/// indexed atomic add — these sit on the per-message hot path, where a
+/// registry lookup (read-lock + map probe) per frame is measurable drag.
+#[derive(Debug, Default)]
+struct ShardCounters([AtomicU64; SHARD_LABELS.len() + 1]);
+
+impl ShardCounters {
+    fn slot(shard: ShardId) -> usize {
+        shard.index().min(SHARD_LABELS.len())
+    }
+
+    fn inc(&self, shard: ShardId) {
+        self.0[Self::slot(shard)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn get(&self, shard: ShardId) -> u64 {
+        self.0[Self::slot(shard)].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the non-zero slots, keyed by shard label.
+    fn snapshot(&self) -> BTreeMap<String, u64> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| {
+                let v = v.load(Ordering::Relaxed);
+                (v > 0).then(|| (shard_label(ShardId(i as u16)).to_owned(), v))
+            })
+            .collect()
+    }
+}
 
 /// Cluster-wide counters, shared by all node threads.
 #[derive(Debug)]
@@ -30,6 +79,8 @@ pub struct ClusterMetrics {
     tcp_reconnects: Counter,
     tcp_frames_requeued: Counter,
     tcp_frames_abandoned: Counter,
+    shard_msgs: ShardCounters,
+    shard_cs: ShardCounters,
 }
 
 impl Default for ClusterMetrics {
@@ -66,6 +117,8 @@ impl ClusterMetrics {
             tcp_reconnects,
             tcp_frames_requeued,
             tcp_frames_abandoned,
+            shard_msgs: ShardCounters::default(),
+            shard_cs: ShardCounters::default(),
         }
     }
 
@@ -74,24 +127,26 @@ impl ClusterMetrics {
         &self.obs
     }
 
-    pub(crate) fn message(&self, kind: &'static str) {
+    pub(crate) fn message(&self, shard: ShardId, kind: &'static str) {
         self.messages_total.inc();
         self.obs.registry().counter_with(MSG_SENT, kind).inc();
+        self.shard_msgs.inc(shard);
     }
 
     pub(crate) fn note(&self, label: &'static str) {
         self.obs.registry().counter_with(NOTE, label).inc();
     }
 
-    pub(crate) fn cs_completed(&self) {
+    pub(crate) fn cs_completed(&self, shard: ShardId) {
         self.cs_completed.inc();
+        self.shard_cs.inc(shard);
     }
 
-    pub(crate) fn cs_requested(&self) {
+    pub(crate) fn cs_requested(&self, _shard: ShardId) {
         self.cs_requests.inc();
     }
 
-    pub(crate) fn cs_rerequested(&self) {
+    pub(crate) fn cs_rerequested(&self, _shard: ShardId) {
         self.cs_rerequests.inc();
     }
 
@@ -156,6 +211,24 @@ impl ClusterMetrics {
         self.namespace(NOTE)
     }
 
+    /// Critical sections completed so far on one shard.
+    pub fn cs_completed_on(&self, shard: ShardId) -> u64 {
+        self.shard_cs.get(shard)
+    }
+
+    /// Snapshot of per-shard transmitted message counts, keyed by shard
+    /// label (`"0"`, `"1"`, ..., `"overflow"` past shard 15). Only shards
+    /// that saw traffic appear.
+    pub fn messages_by_shard(&self) -> BTreeMap<String, u64> {
+        self.shard_msgs.snapshot()
+    }
+
+    /// Snapshot of per-shard completed critical sections, keyed like
+    /// [`ClusterMetrics::messages_by_shard`].
+    pub fn cs_completed_by_shard(&self) -> BTreeMap<String, u64> {
+        self.shard_cs.snapshot()
+    }
+
     fn namespace(&self, ns: &str) -> BTreeMap<String, u64> {
         let prefix = format!("{ns}/");
         self.obs
@@ -175,16 +248,28 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let m = ClusterMetrics::new();
-        m.message("REQUEST");
-        m.message("REQUEST");
-        m.message("PRIVILEGE");
+        m.message(ShardId(0), "REQUEST");
+        m.message(ShardId(0), "REQUEST");
+        m.message(ShardId(1), "PRIVILEGE");
         m.note("qlist_sealed");
-        m.cs_completed();
+        m.cs_completed(ShardId(1));
         assert_eq!(m.messages_total(), 3);
         assert_eq!(m.cs_completed_total(), 1);
         assert_eq!(m.messages_per_cs(), 3.0);
         assert_eq!(m.by_kind()["REQUEST"], 2);
         assert_eq!(m.notes()["qlist_sealed"], 1);
+        assert_eq!(m.messages_by_shard()["0"], 2);
+        assert_eq!(m.messages_by_shard()["1"], 1);
+        assert_eq!(m.cs_completed_on(ShardId(1)), 1);
+        assert_eq!(m.cs_completed_on(ShardId(0)), 0);
+        assert_eq!(m.cs_completed_by_shard()["1"], 1);
+    }
+
+    #[test]
+    fn shard_labels_cover_overflow() {
+        assert_eq!(shard_label(ShardId(15)), "15");
+        assert_eq!(shard_label(ShardId(16)), "overflow");
+        assert_eq!(shard_label(ShardId(u16::MAX)), "overflow");
     }
 
     #[test]
@@ -197,7 +282,7 @@ mod tests {
     fn registry_view_matches_snapshot_api() {
         let obs = Obs::disabled(Source::Runtime);
         let m = ClusterMetrics::with_obs(obs);
-        m.message("REQUEST");
+        m.message(ShardId(0), "REQUEST");
         let snap = m.obs().registry().snapshot();
         assert_eq!(snap.counters["messages_total"], 1);
         assert_eq!(snap.counters["msg_sent/REQUEST"], 1);

@@ -1,0 +1,256 @@
+//! The sharded multi-resource lock service: resources, shards, and the
+//! typed error surface of the client API.
+//!
+//! The paper's arbiter algorithm governs exactly *one* critical section.
+//! To serve many independent resources, a [`crate::Cluster`] runs `K`
+//! independent protocol instances — **shards** — over the *same* node set
+//! and the *same* transports: one TCP mesh (or one channel mesh) carries
+//! every shard's frames, tagged at the wire layer ([`crate::wire`]) and
+//! demultiplexed by each node's event loop into per-shard state machines.
+//!
+//! Applications never name shards directly. They name **resources**
+//! ([`ResourceId`], any string such as `"accounts/7"`), and a stable hash
+//! maps each resource onto a shard: the same name always lands on the same
+//! shard for a given shard count, across nodes, processes, and runs. Two
+//! resources on the same shard serialize against each other (they share a
+//! token); resources on different shards are mutually independent.
+//!
+//! The locking API is fully typed: acquisition returns
+//! `Result<LockGuard, `[`LockError`]`>` and fault injection returns
+//! `Result<(), `[`FaultError`]`>` — no `Option` squinting, no panicking
+//! accessors.
+
+use std::fmt;
+
+/// Identifies one protocol instance (one independent token) inside a
+/// sharded cluster. Shards are numbered `0..K`; shard `0` also backs the
+/// single-lock compatibility API ([`crate::Cluster::handle`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShardId(pub u16);
+
+impl ShardId {
+    /// The shard index as a `usize` (for indexing per-shard tables).
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard-{}", self.0)
+    }
+}
+
+/// A named lockable resource, e.g. `"accounts/7"` or `"index/users"`.
+///
+/// Resource names are free-form strings; equality is exact. The name is
+/// hashed once (FNV-1a, stable across platforms and runs) to derive the
+/// owning shard and a default home node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId {
+    name: String,
+}
+
+impl ResourceId {
+    /// A resource with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ResourceId { name: name.into() }
+    }
+
+    /// The resource's name, exactly as given.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The stable 64-bit FNV-1a hash of the name. Identical input bytes
+    /// always produce the identical hash — the shard mapping must not
+    /// change across processes, architectures, or std versions.
+    pub fn hash64(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// The shard this resource maps to in a cluster with `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn shard(&self, shards: u16) -> ShardId {
+        assert!(shards > 0, "a cluster has at least one shard");
+        ShardId((self.hash64() % u64::from(shards)) as u16)
+    }
+
+    /// A deterministic default home node in `[0, nodes)` for this
+    /// resource, decorrelated from the shard mapping (a different fold of
+    /// the same hash), so resources spread over nodes as well as shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn home_node(&self, nodes: usize) -> usize {
+        assert!(nodes > 0, "a cluster has at least one node");
+        (self.hash64().rotate_left(32) % nodes as u64) as usize
+    }
+}
+
+impl From<&str> for ResourceId {
+    fn from(name: &str) -> Self {
+        ResourceId::new(name)
+    }
+}
+
+impl From<String> for ResourceId {
+    fn from(name: String) -> Self {
+        ResourceId::new(name)
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Why a lock acquisition failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LockError {
+    /// The grant did not arrive within the caller's patience. The
+    /// abandoned request is released automatically if it is granted later.
+    Timeout,
+    /// The node this handle locks through is currently crashed; recover it
+    /// with [`crate::Cluster::recover`] before locking through it again.
+    /// (Requests *already waiting* when the node crashed survive and are
+    /// re-issued on recovery; this error is for new requests submitted
+    /// while the node is down.)
+    NodeDown,
+    /// The cluster has shut down (or is shutting down): no grant can ever
+    /// arrive.
+    ShuttingDown,
+    /// The requested node index does not exist in this cluster.
+    NoSuchNode {
+        /// The out-of-range index that was requested.
+        node: usize,
+        /// The cluster's node count.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::Timeout => write!(f, "lock request timed out"),
+            LockError::NodeDown => write!(f, "node is crashed; recover it before locking"),
+            LockError::ShuttingDown => write!(f, "cluster is shutting down"),
+            LockError::NoSuchNode { node, nodes } => {
+                write!(f, "node {node} does not exist (cluster has {nodes} nodes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// Why a fault-injection operation ([`crate::Cluster::crash`],
+/// [`crate::Cluster::recover`], [`crate::Cluster::partition`]) failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// A node index named by the operation does not exist.
+    NoSuchNode {
+        /// The out-of-range index that was requested.
+        node: usize,
+        /// The cluster's node count.
+        nodes: usize,
+    },
+    /// The cluster has shut down; there is nothing left to fault.
+    ShuttingDown,
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::NoSuchNode { node, nodes } => {
+                write!(f, "node {node} does not exist (cluster has {nodes} nodes)")
+            }
+            FaultError::ShuttingDown => write!(f, "cluster is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_mapping_is_stable_and_in_range() {
+        // Pinned values: the mapping is part of the wire-compatible
+        // contract (same name + same shard count => same shard, forever).
+        let r = ResourceId::new("accounts/7");
+        assert_eq!(r.hash64(), ResourceId::new("accounts/7").hash64());
+        for shards in 1..32u16 {
+            let s = r.shard(shards);
+            assert!(s.0 < shards);
+            assert_eq!(s, r.shard(shards), "mapping must be deterministic");
+        }
+        assert_eq!(ResourceId::new("").hash64(), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn distinct_names_spread_over_shards() {
+        let shards = 8u16;
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..256 {
+            seen.insert(ResourceId::new(format!("res/{i}")).shard(shards));
+        }
+        assert_eq!(
+            seen.len(),
+            usize::from(shards),
+            "256 names must hit all 8 shards"
+        );
+    }
+
+    #[test]
+    fn home_node_is_decorrelated_from_shard() {
+        // Names landing on one shard must not all share a home node.
+        let names: Vec<ResourceId> = (0..512)
+            .map(|i| ResourceId::new(format!("k/{i}")))
+            .filter(|r| r.shard(4).0 == 0)
+            .collect();
+        let homes: std::collections::BTreeSet<usize> =
+            names.iter().map(|r| r.home_node(5)).collect();
+        assert!(homes.len() > 1, "home nodes collapsed onto one value");
+    }
+
+    #[test]
+    fn errors_display_informatively() {
+        assert!(LockError::Timeout.to_string().contains("timed out"));
+        assert!(LockError::NodeDown.to_string().contains("crashed"));
+        assert!(LockError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+        let e = LockError::NoSuchNode { node: 9, nodes: 3 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('3'));
+        let f = FaultError::NoSuchNode { node: 9, nodes: 3 };
+        assert!(f.to_string().contains('9'));
+        assert!(FaultError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+    }
+
+    #[test]
+    fn resource_conversions_and_display() {
+        let a: ResourceId = "x/y".into();
+        let b: ResourceId = String::from("x/y").into();
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "x/y");
+        assert_eq!(ShardId(3).to_string(), "shard-3");
+        assert_eq!(ShardId(3).index(), 3);
+    }
+}

@@ -2,7 +2,10 @@
 //! (or LAN) sockets instead of in-process channels.
 //!
 //! The framing is `[u32 len][u32 sender][payload]` (big-endian), with the
-//! payload being the [`crate::wire`] encoding of the protocol message.
+//! payload being the [`crate::wire`] encoding of the protocol message —
+//! including its shard tag, so the frames of every shard of a sharded
+//! cluster interleave on one socket per peer and the receiving node loop
+//! routes each to its protocol instance.
 //! Connections are opened lazily per destination. A failed send no longer
 //! abandons the frame after one reconnect attempt: frames park in a
 //! bounded per-peer retry queue and a background flusher redelivers them

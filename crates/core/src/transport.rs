@@ -1,11 +1,16 @@
 //! In-process transports moving encoded frames between node threads.
 //!
+//! Transports are **shard-oblivious**: a frame is an opaque byte string
+//! whose [`crate::wire`] header already carries the shard tag, so one
+//! transport mesh serves every protocol instance of a sharded cluster and
+//! demultiplexing happens in the node event loop, not here.
+//!
 //! The default [`ChannelTransport`] delivers frames over crossbeam
 //! channels, optionally through a network thread that applies configurable
 //! delay and loss — the same unreliability surface the simulator models,
 //! but in real time against real threads. On top of the static
 //! [`NetOptions`], every frame consults a runtime-mutable
-//! [`FaultPanel`](crate::fault::FaultPanel): blocked links (partitions)
+//! [`FaultPanel`]: blocked links (partitions)
 //! and injected loss bursts are applied at send time, mirroring the
 //! simulator's partition semantics.
 

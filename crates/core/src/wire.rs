@@ -5,14 +5,23 @@
 //! exercised by every cluster test. The format is a compact tagged binary
 //! encoding over [`bytes`]; a one-byte version prefix guards against
 //! format drift.
+//!
+//! Version 2 adds a 16-bit **shard id** between the version byte and the
+//! message tag: `[version u8][shard u16 BE][tag u8]...`. One transport
+//! mesh (TCP or in-process channels) carries frames for every shard of a
+//! sharded cluster; the shard id is the demultiplexing key a receiving
+//! node uses to route the decoded message to the right protocol instance.
+//! Transports themselves never inspect it — frames stay opaque below this
+//! layer.
 
+use crate::service::ShardId;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use tokq_protocol::arbiter::{ArbiterMsg, Token, TokenStatus};
 use tokq_protocol::qlist::{Entry, QList};
 use tokq_protocol::types::{NodeId, Priority, SeqNum};
 
-/// Wire format version byte.
-pub const WIRE_VERSION: u8 = 1;
+/// Wire format version byte. Version 2 introduced the shard id field.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Errors produced while decoding a frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,10 +133,13 @@ fn get_opt_node(buf: &mut Bytes) -> Result<Option<NodeId>, WireError> {
     }
 }
 
-/// Encodes a message into an owned frame.
-pub fn encode(msg: &ArbiterMsg) -> Bytes {
+/// Encodes a message for `shard` into an owned frame.
+pub fn encode(shard: ShardId, msg: &ArbiterMsg) -> Bytes {
     let mut out = BytesMut::with_capacity(64);
     out.put_u8(WIRE_VERSION);
+    // Big-endian u16 shard id (the vendored `bytes` shim has no put_u16).
+    out.put_u8((shard.0 >> 8) as u8);
+    out.put_u8(shard.0 as u8);
     match msg {
         ArbiterMsg::Request {
             requester,
@@ -204,19 +216,21 @@ pub fn encode(msg: &ArbiterMsg) -> Bytes {
     out.freeze()
 }
 
-/// Decodes a frame produced by [`encode`].
+/// Decodes a frame produced by [`encode`], yielding the shard it belongs
+/// to together with the message.
 ///
 /// # Errors
 ///
 /// Returns a [`WireError`] on truncation, version mismatch, unknown tags,
 /// or trailing garbage.
-pub fn decode(frame: &[u8]) -> Result<ArbiterMsg, WireError> {
+pub fn decode(frame: &[u8]) -> Result<(ShardId, ArbiterMsg), WireError> {
     let mut buf = Bytes::copy_from_slice(frame);
-    need(&buf, 2)?;
+    need(&buf, 4)?;
     let version = buf.get_u8();
     if version != WIRE_VERSION {
         return Err(WireError::BadVersion(version));
     }
+    let shard = ShardId((u16::from(buf.get_u8()) << 8) | u16::from(buf.get_u8()));
     let tag = buf.get_u8();
     let msg = match tag {
         0 => {
@@ -299,7 +313,7 @@ pub fn decode(frame: &[u8]) -> Result<ArbiterMsg, WireError> {
     if buf.has_remaining() {
         return Err(WireError::TrailingBytes(buf.remaining()));
     }
-    Ok(msg)
+    Ok((shard, msg))
 }
 
 #[cfg(test)]
@@ -307,9 +321,12 @@ mod tests {
     use super::*;
 
     fn roundtrip(msg: ArbiterMsg) {
-        let frame = encode(&msg);
-        let back = decode(&frame).expect("decode");
-        assert_eq!(back, msg);
+        for shard in [ShardId(0), ShardId(3), ShardId(u16::MAX)] {
+            let frame = encode(shard, &msg);
+            let (s, back) = decode(&frame).expect("decode");
+            assert_eq!(s, shard);
+            assert_eq!(back, msg);
+        }
     }
 
     fn sample_token() -> Token {
@@ -374,20 +391,23 @@ mod tests {
 
     #[test]
     fn rejects_bad_version() {
-        let mut frame = encode(&ArbiterMsg::Warning { round: 1 }).to_vec();
+        let mut frame = encode(ShardId(0), &ArbiterMsg::Warning { round: 1 }).to_vec();
         frame[0] = 99;
         assert_eq!(decode(&frame), Err(WireError::BadVersion(99)));
+        // The pre-shard v1 layout must be refused, not misparsed.
+        frame[0] = 1;
+        assert_eq!(decode(&frame), Err(WireError::BadVersion(1)));
     }
 
     #[test]
     fn rejects_unknown_tag() {
-        let frame = vec![WIRE_VERSION, 200];
+        let frame = vec![WIRE_VERSION, 0, 0, 200];
         assert_eq!(decode(&frame), Err(WireError::BadTag(200)));
     }
 
     #[test]
     fn rejects_truncation_everywhere() {
-        let frame = encode(&ArbiterMsg::Privilege(sample_token()));
+        let frame = encode(ShardId(2), &ArbiterMsg::Privilege(sample_token()));
         for cut in 0..frame.len() {
             let r = decode(&frame[..cut]);
             assert!(r.is_err(), "decode of {cut}-byte prefix must fail");
@@ -396,9 +416,16 @@ mod tests {
 
     #[test]
     fn rejects_trailing_bytes() {
-        let mut frame = encode(&ArbiterMsg::Probe).to_vec();
+        let mut frame = encode(ShardId(0), &ArbiterMsg::Probe).to_vec();
         frame.push(0);
         assert_eq!(decode(&frame), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn shard_rides_in_the_header() {
+        // Byte layout is pinned: [version][shard hi][shard lo][tag]...
+        let frame = encode(ShardId(0x0102), &ArbiterMsg::Probe);
+        assert_eq!(&frame[..4], &[WIRE_VERSION, 0x01, 0x02, 9]);
     }
 
     #[test]

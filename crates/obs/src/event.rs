@@ -53,6 +53,9 @@ pub struct Event {
     pub src: Source,
     /// Node the event concerns, when there is one.
     pub node: Option<u64>,
+    /// Shard (independent protocol instance) the event concerns, when the
+    /// emitter runs a sharded lock service.
+    pub shard: Option<u64>,
     /// Subsystem target used for `TOKQ_TRACE` filtering.
     pub target: String,
     /// Verbosity level the event was emitted at.
@@ -71,6 +74,7 @@ impl Event {
             ts: 0.0,
             src: Source::Runtime,
             node: None,
+            shard: None,
             target: target.to_owned(),
             level,
             name: name.to_owned(),
@@ -87,6 +91,12 @@ impl Event {
     /// Attaches the node id (builder-style).
     pub fn node(mut self, node: u64) -> Self {
         self.node = Some(node);
+        self
+    }
+
+    /// Attaches the shard id (builder-style).
+    pub fn shard(mut self, shard: u64) -> Self {
+        self.shard = Some(shard);
         self
     }
 
@@ -109,6 +119,9 @@ impl Event {
         ];
         if let Some(node) = self.node {
             entries.push(("node".to_owned(), Value::U64(node)));
+        }
+        if let Some(shard) = self.shard {
+            entries.push(("shard".to_owned(), Value::U64(shard)));
         }
         entries.push(("target".to_owned(), Value::Str(self.target.clone())));
         entries.push((
@@ -149,6 +162,11 @@ impl Event {
             Some(Value::U64(v)) => Some(*v),
             Some(_) => return Err("node must be an unsigned integer".into()),
         };
+        let shard = match get("shard") {
+            None | Some(Value::Null) => None,
+            Some(Value::U64(v)) => Some(*v),
+            Some(_) => return Err("shard must be an unsigned integer".into()),
+        };
         let target = get("target")
             .and_then(Value::as_str)
             .ok_or("missing target")?
@@ -170,6 +188,7 @@ impl Event {
             ts,
             src,
             node,
+            shard,
             target,
             level,
             name,
@@ -192,6 +211,7 @@ mod tests {
     fn jsonl_roundtrip_full() {
         let e = Event::new("arbiter", Level::Debug, "qlist_sealed")
             .node(3)
+            .shard(1)
             .field("len", &4u64)
             .field("note", &"hello");
         let line = e.to_jsonl();
@@ -199,6 +219,7 @@ mod tests {
         assert_eq!(back, e);
         assert!(line.contains("\"event\":\"qlist_sealed\""));
         assert!(line.contains("\"src\":\"rt\""));
+        assert!(line.contains("\"shard\":1"));
     }
 
     #[test]
@@ -209,6 +230,7 @@ mod tests {
         let back = Event::from_jsonl(&e.to_jsonl()).unwrap();
         assert_eq!(back, e);
         assert_eq!(back.node, None);
+        assert_eq!(back.shard, None);
         assert!(back.fields.is_empty());
     }
 

@@ -114,6 +114,16 @@ pub trait ProtocolFactory {
     /// Builds the instance for node `id` of `n`.
     fn build(&self, id: NodeId, n: usize) -> Self::Node;
 
+    /// Builds the instance for node `id` of `n` serving `shard` of a
+    /// sharded lock service. Shards are fully independent protocol
+    /// instances, so the default implementation ignores the shard index
+    /// and builds an identical node; factories may override to vary
+    /// configuration per shard (e.g. phase durations).
+    fn build_shard(&self, id: NodeId, n: usize, shard: u16) -> Self::Node {
+        let _ = shard;
+        self.build(id, n)
+    }
+
     /// Builds all `n` instances.
     fn build_all(&self, n: usize) -> Vec<Self::Node> {
         (0..n)

@@ -42,12 +42,12 @@ fn main() {
     let mut workers = Vec::new();
     // Nodes 1..5 hammer the lock; node 0 is the crash victim.
     for node in 1..cluster.len() {
-        let handle = cluster.handle(node);
+        let handle = cluster.handle(node).expect("in range");
         let stop = Arc::clone(&stop);
         let granted = Arc::clone(&granted);
         workers.push(std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
-                if let Some(guard) = handle.try_lock_for(Duration::from_secs(5)) {
+                if let Ok(guard) = handle.try_lock_for(Duration::from_secs(5)) {
                     granted.fetch_add(1, Ordering::Relaxed);
                     std::thread::sleep(Duration::from_micros(200));
                     drop(guard);
@@ -61,13 +61,13 @@ fn main() {
     println!("grants before crash: {before}");
 
     println!("crashing node 0 (the initial arbiter / token holder)...");
-    cluster.crash(0);
+    cluster.crash(0).expect("crash node 0");
     std::thread::sleep(Duration::from_millis(700));
     let during = granted.load(Ordering::Relaxed);
     println!("grants while node 0 is down: {}", during - before);
 
     println!("recovering node 0...");
-    cluster.recover(0);
+    cluster.recover(0).expect("recover node 0");
     std::thread::sleep(Duration::from_millis(300));
     stop.store(true, Ordering::Relaxed);
     for w in workers {

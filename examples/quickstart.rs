@@ -33,11 +33,11 @@ fn main() {
     let shared = Arc::new(AtomicU64::new(0));
     let mut workers = Vec::new();
     for node in 0..cluster.len() {
-        let handle = cluster.handle(node);
+        let handle = cluster.handle(node).expect("in range");
         let shared = Arc::clone(&shared);
         workers.push(std::thread::spawn(move || {
             for _ in 0..20 {
-                let _guard = handle.lock();
+                let _guard = handle.lock().expect("granted");
                 // Inside the critical section: a read-modify-write that
                 // would race without mutual exclusion.
                 let v = shared.load(Ordering::Relaxed);

@@ -45,11 +45,11 @@ fn main() {
 
     let mut workers = Vec::new();
     for node in 0..nodes {
-        let handle = cluster.handle(node);
+        let handle = cluster.handle(node).expect("in range");
         let ledger = Arc::clone(&ledger);
         workers.push(std::thread::spawn(move || {
             for i in 0..appends_per_node {
-                let guard = handle.lock();
+                let guard = handle.lock().expect("granted");
                 {
                     let mut l = ledger.lock();
                     let seq = l.last().map(|e| e.seq + 1).unwrap_or(0);

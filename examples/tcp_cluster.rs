@@ -19,11 +19,11 @@ fn main() {
 
     let mut workers = Vec::new();
     for node in 0..cluster.len() {
-        let handle = cluster.handle(node);
+        let handle = cluster.handle(node).expect("in range");
         let counter = Arc::clone(&counter);
         workers.push(std::thread::spawn(move || {
             for _ in 0..15 {
-                let _guard = handle.lock();
+                let _guard = handle.lock().expect("granted");
                 // Non-atomic read-modify-write protected by the lock.
                 let v = counter.load(Ordering::Relaxed);
                 std::thread::sleep(std::time::Duration::from_micros(100));

@@ -17,6 +17,16 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> rustdoc gate: cargo doc --no-deps -D warnings"
+# Explicit -p list: the vendored stand-ins are workspace members and are
+# not held to the documentation bar.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
+    -p tokq -p tokq-core -p tokq-protocol -p tokq-obs \
+    -p tokq-simnet -p tokq-workload -p tokq-analysis -p tokq-bench
+
+echo "==> sharded smoke: 4 resources on 4 shards over one live cluster"
+cargo run --release --quiet --example sharded_locks >/dev/null
+
 echo "==> model-checker smoke: bounded exploration of arbiter + baselines"
 cargo run --release --quiet --example explore_smoke
 

@@ -116,39 +116,40 @@ fn runtime_flight_recorder_captures_crash_recover_and_spans() {
     // Warm up: everybody locks once so every node has joined the rotation
     // before the fault is injected.
     for node in 0..4 {
-        drop(cluster.handle(node).try_lock_for(wait).expect("warmup"));
+        let h = cluster.handle(node).expect("in range");
+        drop(h.try_lock_for(wait).expect("warmup"));
     }
-    let h0 = cluster.handle(0);
-    let h1 = cluster.handle(1);
+    let h0 = cluster.handle(0).expect("in range");
+    let h1 = cluster.handle(1).expect("in range");
     for _ in 0..3 {
         drop(h0.try_lock_for(wait).expect("h0 grant"));
         drop(h1.try_lock_for(wait).expect("h1 grant"));
     }
     // Induce the recovery path: node 2 crashes, the others keep working,
     // node 2 comes back and locks again.
-    cluster.crash(2);
+    cluster.crash(2).expect("crash node 2");
     for _ in 0..3 {
         drop(h0.try_lock_for(wait).expect("grant while node 2 down"));
     }
-    cluster.recover(2);
+    cluster.recover(2).expect("recover node 2");
     // Keep lock traffic flowing while node 2 rejoins: the recovered node
     // re-learns the current arbiter from NEW-ARBITER broadcasts, which only
     // happen while critical sections are being granted.
     let stop = Arc::new(AtomicBool::new(false));
     let traffic = {
         let stop = Arc::clone(&stop);
-        let h = cluster.handle(0);
+        let h = cluster.handle(0).expect("in range");
         std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
-                drop(h.try_lock_for(Duration::from_secs(5)));
+                drop(h.try_lock_for(Duration::from_secs(5)).ok());
                 std::thread::sleep(Duration::from_millis(5));
             }
         })
     };
-    let h2 = cluster.handle(2);
+    let h2 = cluster.handle(2).expect("in range");
     let got = h2.try_lock_for(wait);
     stop.store(true, Ordering::Relaxed);
-    if got.is_none() {
+    if got.is_err() {
         let dump = cluster.flight_recorder().expect("recorder").dump_jsonl();
         let tail: Vec<&str> = dump.lines().rev().take(60).collect();
         panic!("grant after recovery timed out; last events:\n{}", {
@@ -218,7 +219,7 @@ fn sim_and_runtime_jsonl_schemas_are_compatible() {
         .flight_recorder(4096, Level::Debug)
         .build();
     for node in 0..3 {
-        let h = cluster.handle(node);
+        let h = cluster.handle(node).expect("in range");
         drop(h.try_lock_for(Duration::from_secs(30)).expect("granted"));
     }
     let recorder = cluster.flight_recorder().expect("recorder");

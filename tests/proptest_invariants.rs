@@ -233,6 +233,7 @@ proptest! {
         counter in any::<u32>(),
         epoch in any::<u64>(),
         monitor in proptest::option::of(0u32..32),
+        shard in any::<u16>(),
     ) {
         use tokq::protocol::arbiter::ArbiterMsg;
         let msg = ArbiterMsg::NewArbiter {
@@ -244,8 +245,9 @@ proptest! {
             epoch,
             monitor: monitor.map(NodeId),
         };
-        let frame = tokq::core::encode(&msg);
-        let back = tokq::core::decode(&frame).unwrap();
+        let frame = tokq::core::encode(tokq::core::ShardId(shard), &msg);
+        let (back_shard, back) = tokq::core::decode(&frame).unwrap();
+        prop_assert_eq!(back_shard, tokq::core::ShardId(shard));
         prop_assert_eq!(back, msg);
     }
 

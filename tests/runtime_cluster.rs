@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use tokq::core::{Cluster, NetOptions};
+use tokq::core::{Cluster, LockError, NetOptions};
 use tokq::protocol::arbiter::{ArbiterConfig, RecoveryConfig};
 use tokq::protocol::types::TimeDelta;
 
@@ -34,12 +34,12 @@ fn hammer(cluster: &Cluster, rounds: u32) -> u64 {
     let total = Arc::new(AtomicU64::new(0));
     let mut joins = Vec::new();
     for node in 0..cluster.len() {
-        let handle = cluster.handle(node);
+        let handle = cluster.handle(node).expect("node in range");
         let inside = Arc::clone(&inside);
         let total = Arc::clone(&total);
         joins.push(std::thread::spawn(move || {
             for _ in 0..rounds {
-                let guard = handle.lock();
+                let guard = handle.lock().expect("granted");
                 let was = inside.fetch_add(1, Ordering::SeqCst);
                 assert_eq!(was, 0, "mutual exclusion violated on the runtime");
                 std::thread::sleep(Duration::from_micros(100));
@@ -93,9 +93,9 @@ fn mutual_exclusion_with_lossy_network_and_recovery() {
 fn reentrant_sequential_locking_from_one_handle() {
     let cluster = Cluster::builder(3).config(quick()).build();
     let metrics = cluster.metrics_handle();
-    let h = cluster.handle(2);
+    let h = cluster.handle(2).expect("node in range");
     for _ in 0..50 {
-        let g = h.lock();
+        let g = h.lock().expect("granted");
         drop(g);
     }
     cluster.shutdown();
@@ -108,11 +108,11 @@ fn competing_threads_on_the_same_node_queue_up() {
     let inside = Arc::new(AtomicU32::new(0));
     let mut joins = Vec::new();
     for _ in 0..4 {
-        let handle = cluster.handle(0);
+        let handle = cluster.handle(0).expect("node in range");
         let inside = Arc::clone(&inside);
         joins.push(std::thread::spawn(move || {
             for _ in 0..10 {
-                let _g = handle.lock();
+                let _g = handle.lock().expect("granted");
                 let was = inside.fetch_add(1, Ordering::SeqCst);
                 assert_eq!(was, 0);
                 inside.fetch_sub(1, Ordering::SeqCst);
@@ -131,14 +131,17 @@ fn competing_threads_on_the_same_node_queue_up() {
 #[test]
 fn try_lock_for_times_out_while_lock_is_held() {
     let cluster = Cluster::builder(2).config(quick()).build();
-    let a = cluster.handle(0);
-    let b = cluster.handle(1);
-    let g = a.lock();
+    let a = cluster.handle(0).expect("node in range");
+    let b = cluster.handle(1).expect("node in range");
+    let g = a.lock().expect("granted");
     let start = std::time::Instant::now();
-    assert!(b.try_lock_for(Duration::from_millis(80)).is_none());
+    assert_eq!(
+        b.try_lock_for(Duration::from_millis(80)).err(),
+        Some(LockError::Timeout)
+    );
     assert!(start.elapsed() >= Duration::from_millis(75));
     drop(g);
-    assert!(b.try_lock_for(Duration::from_secs(10)).is_some());
+    assert!(b.try_lock_for(Duration::from_secs(10)).is_ok());
     cluster.shutdown();
 }
 
@@ -147,19 +150,24 @@ fn crash_and_recovery_on_the_runtime() {
     let cluster = Arc::new(Cluster::builder(4).config(quick_ft()).build());
     // Warm up: everybody locks once.
     for node in 0..4 {
-        let g = cluster.handle(node).lock();
+        let g = cluster
+            .handle(node)
+            .expect("in range")
+            .lock()
+            .expect("granted");
         drop(g);
     }
     // Crash node 0 (initial arbiter); the others must still acquire.
-    cluster.crash(0);
-    let h = cluster.handle(2);
+    cluster.crash(0).expect("crash node 0");
+    let h = cluster.handle(2).expect("node in range");
     let got = h.try_lock_for(Duration::from_secs(20));
-    assert!(got.is_some(), "lock unavailable after crashing node 0");
+    assert!(got.is_ok(), "lock unavailable after crashing node 0");
     drop(got);
     // Recover node 0 and let it lock again.
-    cluster.recover(0);
+    cluster.recover(0).expect("recover node 0");
     let g = cluster
         .handle(0)
+        .expect("node in range")
         .try_lock_for(Duration::from_secs(20))
         .expect("recovered node must reacquire");
     drop(g);
@@ -174,7 +182,11 @@ fn metrics_reflect_protocol_traffic() {
     let cluster = Cluster::builder(3).config(quick()).build();
     let metrics = cluster.metrics_handle();
     for node in 0..3 {
-        let g = cluster.handle(node).lock();
+        let g = cluster
+            .handle(node)
+            .expect("in range")
+            .lock()
+            .expect("granted");
         drop(g);
     }
     cluster.shutdown();
@@ -187,7 +199,11 @@ fn metrics_reflect_protocol_traffic() {
 #[test]
 fn guard_drop_after_cluster_shutdown_is_harmless() {
     let cluster = Cluster::builder(2).config(quick()).build();
-    let g = cluster.handle(0).lock();
+    let g = cluster
+        .handle(0)
+        .expect("in range")
+        .lock()
+        .expect("granted");
     cluster.shutdown();
     drop(g); // must not panic
 }
@@ -206,15 +222,23 @@ fn mutual_exclusion_over_real_tcp_sockets() {
 #[test]
 fn tcp_cluster_survives_crash_and_recovery() {
     let cluster = Cluster::builder(3).config(quick_ft()).tcp().build();
-    let g = cluster.handle(1).lock();
+    let g = cluster
+        .handle(1)
+        .expect("in range")
+        .lock()
+        .expect("granted");
     drop(g);
-    cluster.crash(0);
-    let got = cluster.handle(2).try_lock_for(Duration::from_secs(20));
-    assert!(got.is_some(), "lock unavailable after crash over TCP");
+    cluster.crash(0).expect("crash node 0");
+    let got = cluster
+        .handle(2)
+        .expect("in range")
+        .try_lock_for(Duration::from_secs(20));
+    assert!(got.is_ok(), "lock unavailable after crash over TCP");
     drop(got);
-    cluster.recover(0);
+    cluster.recover(0).expect("recover node 0");
     let g = cluster
         .handle(0)
+        .expect("in range")
         .try_lock_for(Duration::from_secs(20))
         .expect("recovered node reacquires over TCP");
     drop(g);
