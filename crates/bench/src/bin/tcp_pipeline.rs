@@ -1,0 +1,195 @@
+//! TCP send-pipeline benchmark: grant latency over the real socket
+//! transport, healthy cluster vs. one peer dead.
+//!
+//! Each scenario spins up a threaded cluster on loopback TCP, optionally
+//! crashes the last node, then measures wall-clock `lock()` latency from
+//! every surviving node in round-robin. The one-peer-dead row is the
+//! regression this benchmark exists to watch: with the off-thread writer
+//! pipeline, an unreachable peer costs only the protocol's own recovery
+//! timeouts — never a transport connect/write stall compounding on the
+//! protocol threads, which is what the old inline send path did.
+//!
+//! ```text
+//! cargo run --release -p tokq-bench --bin tcp_pipeline -- [--nodes N]
+//!     [--rounds R] [--out PATH]
+//! ```
+//!
+//! Writes a JSON summary (default `results/BENCH_tcp.json`).
+
+use std::time::{Duration, Instant};
+
+use serde::value::Value;
+use tokq_core::Cluster;
+use tokq_protocol::arbiter::{ArbiterConfig, RecoveryConfig};
+use tokq_protocol::types::TimeDelta;
+
+struct Args {
+    nodes: usize,
+    rounds: usize,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        nodes: 5,
+        rounds: 30,
+        out: std::path::PathBuf::from("results/BENCH_tcp.json"),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--nodes" => {
+                args.nodes = argv
+                    .next()
+                    .ok_or("--nodes needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?;
+            }
+            "--rounds" => {
+                args.rounds = argv
+                    .next()
+                    .ok_or("--rounds needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--rounds: {e}"))?;
+            }
+            "--out" => {
+                args.out = argv.next().ok_or("--out needs a value")?.into();
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.nodes < 2 {
+        return Err("--nodes must be at least 2".into());
+    }
+    Ok(args)
+}
+
+/// Fast-recovery arbiter config so the one-peer-dead scenario settles in
+/// hundreds of milliseconds instead of the conservative defaults.
+fn quick_ft() -> ArbiterConfig {
+    ArbiterConfig {
+        recovery: Some(RecoveryConfig {
+            token_wait_base: TimeDelta::from_millis(100),
+            token_wait_per_position: TimeDelta::from_millis(25),
+            enquiry_timeout: TimeDelta::from_millis(50),
+            handover_watch: TimeDelta::from_millis(200),
+            probe_timeout: TimeDelta::from_millis(50),
+        }),
+        request_retry: Some(TimeDelta::from_millis(250)),
+        ..ArbiterConfig::basic()
+            .with_t_collect(TimeDelta::from_millis(1))
+            .with_t_forward(TimeDelta::from_millis(1))
+    }
+}
+
+/// Exact percentile of a sorted sample set (nearest-rank).
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    let idx = (sorted.len() * p / 100).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+struct ScenarioResult {
+    locks: u64,
+    p50: Duration,
+    p99: Duration,
+    max: Duration,
+    reconnects: u64,
+    frames_requeued: u64,
+    frames_abandoned: u64,
+}
+
+/// One scenario: a `nodes`-node TCP cluster, optionally with the last
+/// node crashed, acquiring the lock `rounds` times from every live node.
+fn run_scenario(nodes: usize, rounds: usize, crash_last: bool) -> ScenarioResult {
+    let cluster = Cluster::builder(nodes).config(quick_ft()).tcp().build();
+    let live = if crash_last {
+        cluster.crash(nodes - 1).expect("crash last node");
+        // Let token recovery route around the dead member before timing.
+        std::thread::sleep(Duration::from_millis(300));
+        nodes - 1
+    } else {
+        nodes
+    };
+
+    let mut latencies = Vec::with_capacity(rounds * live);
+    for _round in 0..rounds {
+        for node in 0..live {
+            let handle = cluster.handle(node).expect("node in range");
+            let t0 = Instant::now();
+            let guard = handle
+                .try_lock_for(Duration::from_secs(30))
+                .expect("live nodes must keep acquiring");
+            latencies.push(t0.elapsed());
+            drop(guard);
+        }
+    }
+
+    latencies.sort();
+    let metrics = cluster.metrics_handle();
+    let result = ScenarioResult {
+        locks: latencies.len() as u64,
+        p50: percentile(&latencies, 50),
+        p99: percentile(&latencies, 99),
+        max: *latencies.last().expect("at least one lock"),
+        reconnects: metrics.reconnects(),
+        frames_requeued: metrics.frames_requeued(),
+        frames_abandoned: metrics.frames_abandoned(),
+    };
+    cluster.shutdown();
+    result
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tcp_pipeline: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut rows = Vec::new();
+    for (scenario, crash_last) in [("healthy", false), ("one_peer_dead", true)] {
+        let r = run_scenario(args.nodes, args.rounds, crash_last);
+        println!(
+            "{scenario:>14}: {locks:>5} locks  p50 {p50:?}  p99 {p99:?}  max {max:?}  \
+             (reconnects {rc}, requeued {rq}, abandoned {ab})",
+            locks = r.locks,
+            p50 = r.p50,
+            p99 = r.p99,
+            max = r.max,
+            rc = r.reconnects,
+            rq = r.frames_requeued,
+            ab = r.frames_abandoned,
+        );
+        rows.push(Value::Map(vec![
+            ("scenario".into(), Value::Str(scenario.into())),
+            ("locks".into(), Value::U64(r.locks)),
+            ("p50_ns".into(), Value::U64(r.p50.as_nanos() as u64)),
+            ("p99_ns".into(), Value::U64(r.p99.as_nanos() as u64)),
+            ("max_ns".into(), Value::U64(r.max.as_nanos() as u64)),
+            (
+                "counters".into(),
+                Value::Map(vec![
+                    ("reconnects".into(), Value::U64(r.reconnects)),
+                    ("frames_requeued".into(), Value::U64(r.frames_requeued)),
+                    ("frames_abandoned".into(), Value::U64(r.frames_abandoned)),
+                ]),
+            ),
+        ]));
+    }
+
+    let doc = Value::Map(vec![
+        ("bench".into(), Value::Str("tcp_pipeline".into())),
+        ("nodes".into(), Value::U64(args.nodes as u64)),
+        ("rounds".into(), Value::U64(args.rounds as u64)),
+        ("rows".into(), Value::Seq(rows)),
+    ]);
+    if let Some(dir) = args.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&args.out, tokq_obs::json::render(&doc) + "\n").expect("write output");
+    println!("wrote {}", args.out.display());
+}

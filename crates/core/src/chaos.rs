@@ -545,6 +545,11 @@ pub struct SoakReport {
     /// True when the run hit [`SoakOptions::time_limit`] before reaching
     /// [`SoakOptions::target_entries`].
     pub timed_out: bool,
+    /// TCP outbox frames still pending when the run ended, measured after
+    /// a post-heal drain window. A healed mesh must flush its parked
+    /// frames, so anything non-zero here means a writer could not empty
+    /// its queue (always 0 on the channel transport).
+    pub final_outbox_depth: i64,
     /// The cluster's metrics, kept alive past shutdown.
     pub metrics: Arc<ClusterMetrics>,
 }
@@ -763,6 +768,15 @@ pub fn soak(opts: &SoakOptions) -> SoakReport {
         let _ = w.join();
     }
 
+    // With the mesh healed and the workers stopped, the TCP send pipeline
+    // must flush every parked frame; give the writers a short window and
+    // record whatever depth remains.
+    let drain_deadline = Instant::now() + Duration::from_secs(2);
+    while metrics.outbox_depth() > 0 && Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let final_outbox_depth = metrics.outbox_depth();
+
     let violations: Vec<String> = checkers
         .iter()
         .enumerate()
@@ -798,6 +812,7 @@ pub fn soak(opts: &SoakOptions) -> SoakReport {
         partitions,
         loss_bursts,
         timed_out,
+        final_outbox_depth,
         metrics,
     }
 }

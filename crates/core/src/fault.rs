@@ -10,14 +10,23 @@
 //! flight-recorder dump shows exactly which faults were active when
 //! something went wrong.
 //!
-//! Semantics match the simulator's network model: blocked links and
-//! injected loss are evaluated at *send* time, so frames already in
+//! Semantics match the simulator's network model: frames already in
 //! flight when a partition starts still deliver (`crates/simnet`'s
-//! `crosses_partition` does the same).
+//! `crosses_partition` does the same). The channel transport evaluates
+//! blocks and loss at *send* time; the TCP transport evaluates them at
+//! *flush* time, on its writer threads, immediately before the frame
+//! would hit the socket — the protocol thread only enqueues. Both points
+//! are "the moment the frame would enter the network", so the observable
+//! semantics match.
+//!
+//! Transports may register wakers ([`FaultPanel`] calls every waker on
+//! every transition): the TCP writer threads park while a link is
+//! blocked and a waker fires on heal, replacing timed polling.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::RwLock;
 use tokq_obs::{Counter, Event, Level, Obs, Source};
 
 /// Trace target for fault-injection transitions.
@@ -39,6 +48,9 @@ struct PanelInner {
     injected_drops: Counter,
     /// Fault transitions applied (block/unblock/partition/heal/loss).
     transitions: Counter,
+    /// Transport wakers, all invoked after every transition. Registration
+    /// is rare (transport construction); invocation is lock-read only.
+    wakers: RwLock<Vec<Box<dyn Fn() + Send + Sync>>>,
 }
 
 /// A shared, runtime-mutable fault surface for a cluster's transports.
@@ -89,7 +101,23 @@ impl FaultPanel {
                 blocked_drops: obs.registry().counter("fault_blocked_drops"),
                 injected_drops: obs.registry().counter("fault_injected_drops"),
                 transitions: obs.registry().counter("fault_transitions"),
+                wakers: RwLock::new(Vec::new()),
             }),
+        }
+    }
+
+    /// Registers a waker invoked after every fault transition. The TCP
+    /// sender uses this to re-flush parked frames the instant a link
+    /// heals, instead of polling on a timer. Wakers must be cheap and
+    /// non-blocking (the TCP one pushes onto unbounded kick channels).
+    pub(crate) fn add_waker(&self, waker: Box<dyn Fn() + Send + Sync>) {
+        self.inner.wakers.write().push(waker);
+    }
+
+    /// Invokes every registered waker.
+    fn wake_all(&self) {
+        for w in self.inner.wakers.read().iter() {
+            w();
         }
     }
 
@@ -149,6 +177,7 @@ impl FaultPanel {
             self.event("link_blocked")
                 .map(|e| e.field("from", &(from as u64)).field("to", &(to as u64))),
         );
+        self.wake_all();
     }
 
     /// Unblocks the directed link `from → to`. Out-of-range indices are a
@@ -164,6 +193,7 @@ impl FaultPanel {
             self.event("link_unblocked")
                 .map(|e| e.field("from", &(from as u64)).field("to", &(to as u64))),
         );
+        self.wake_all();
     }
 
     /// Blocks both directions between `a` and `b` (a symmetric link cut).
@@ -206,6 +236,7 @@ impl FaultPanel {
             e.field("groups", &(groups.len() as u64))
                 .field("blocked_links", &self.blocked_links())
         }));
+        self.wake_all();
     }
 
     /// Clears every blocked link and the injected loss: the network is
@@ -219,6 +250,7 @@ impl FaultPanel {
             .store(0f64.to_bits(), Ordering::Relaxed);
         self.inner.transitions.inc();
         self.emit(self.event("healed"));
+        self.wake_all();
     }
 
     /// Sets the injected extra loss probability (on top of any configured
@@ -234,6 +266,7 @@ impl FaultPanel {
             .store(loss.to_bits(), Ordering::Relaxed);
         self.inner.transitions.inc();
         self.emit(self.event("loss_set").map(|e| e.field("prob", &loss)));
+        self.wake_all();
     }
 
     /// The currently injected extra loss probability.
@@ -384,6 +417,23 @@ mod tests {
             "50% loss passed {passed}/2000"
         );
         assert_eq!(p.injected_drops() + passed as u64, 2000);
+    }
+
+    #[test]
+    fn wakers_fire_on_every_transition() {
+        use std::sync::atomic::AtomicUsize;
+        let p = FaultPanel::detached(3);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        p.add_waker(Box::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        p.block(0, 1);
+        p.unblock(0, 1);
+        p.partition(&[&[0], &[1]]);
+        p.heal();
+        p.set_loss(0.1);
+        assert_eq!(hits.load(Ordering::SeqCst), 5);
     }
 
     #[test]

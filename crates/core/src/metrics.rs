@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use tokq_obs::{Counter, Obs, Source};
+use tokq_obs::{Counter, Gauge, Histogram, HistogramSummary, Obs, Source};
 
 use crate::service::ShardId;
 
@@ -79,6 +79,11 @@ pub struct ClusterMetrics {
     tcp_reconnects: Counter,
     tcp_frames_requeued: Counter,
     tcp_frames_abandoned: Counter,
+    // Send-pipeline instrumentation, shared with the TCP writer threads
+    // through the same interning.
+    tcp_outbox_depth: Gauge,
+    tcp_frames_per_flush: Histogram,
+    send_enqueue_ns: Histogram,
     shard_msgs: ShardCounters,
     shard_cs: ShardCounters,
 }
@@ -108,6 +113,9 @@ impl ClusterMetrics {
         let tcp_reconnects = obs.registry().counter("tcp_reconnects");
         let tcp_frames_requeued = obs.registry().counter("tcp_frames_requeued");
         let tcp_frames_abandoned = obs.registry().counter("tcp_frames_abandoned");
+        let tcp_outbox_depth = obs.registry().gauge("tcp_outbox_depth");
+        let tcp_frames_per_flush = obs.registry().histogram("tcp_frames_per_flush");
+        let send_enqueue_ns = obs.registry().histogram("send_enqueue_ns");
         ClusterMetrics {
             obs,
             messages_total,
@@ -117,6 +125,9 @@ impl ClusterMetrics {
             tcp_reconnects,
             tcp_frames_requeued,
             tcp_frames_abandoned,
+            tcp_outbox_depth,
+            tcp_frames_per_flush,
+            send_enqueue_ns,
             shard_msgs: ShardCounters::default(),
             shard_cs: ShardCounters::default(),
         }
@@ -189,6 +200,29 @@ impl ClusterMetrics {
     /// Frames dropped because a TCP retry queue overflowed its bound.
     pub fn frames_abandoned(&self) -> u64 {
         self.tcp_frames_abandoned.get()
+    }
+
+    /// Frames currently sitting in TCP per-peer outboxes (enqueued by the
+    /// protocol threads, not yet written or dropped by a writer thread).
+    /// Zero on the channel transport and on an idle, healthy mesh.
+    pub fn outbox_depth(&self) -> i64 {
+        self.tcp_outbox_depth.get()
+    }
+
+    /// Distribution of frames coalesced into each TCP batch write. Means
+    /// near 1 say the writers keep up frame-by-frame; larger values mean
+    /// bursts (or recovering backlogs) are being collapsed into single
+    /// syscalls.
+    pub fn frames_per_flush(&self) -> HistogramSummary {
+        self.tcp_frames_per_flush.summary()
+    }
+
+    /// Distribution of nanoseconds a protocol thread spends inside
+    /// [`crate::transport::Wire::send`] on the TCP transport — the
+    /// enqueue-only hot path. This is the number the off-thread writer
+    /// pipeline exists to keep flat: it must not grow when a peer dies.
+    pub fn send_enqueue_ns(&self) -> HistogramSummary {
+        self.send_enqueue_ns.summary()
     }
 
     /// Average messages per completed critical section (NaN before the
@@ -276,6 +310,19 @@ mod tests {
     fn empty_ratio_is_nan() {
         let m = ClusterMetrics::new();
         assert!(m.messages_per_cs().is_nan());
+    }
+
+    #[test]
+    fn pipeline_metrics_share_registry_atomics() {
+        let obs = Obs::disabled(Source::Runtime);
+        let m = ClusterMetrics::with_obs(obs.clone());
+        obs.registry().gauge("tcp_outbox_depth").add(3);
+        obs.registry().histogram("tcp_frames_per_flush").record(4);
+        obs.registry().histogram("send_enqueue_ns").record(250);
+        assert_eq!(m.outbox_depth(), 3);
+        assert_eq!(m.frames_per_flush().count, 1);
+        assert_eq!(m.send_enqueue_ns().count, 1);
+        assert_eq!(m.send_enqueue_ns().sum, 250);
     }
 
     #[test]

@@ -6,33 +6,46 @@
 //! including its shard tag, so the frames of every shard of a sharded
 //! cluster interleave on one socket per peer and the receiving node loop
 //! routes each to its protocol instance.
-//! Connections are opened lazily per destination. A failed send no longer
-//! abandons the frame after one reconnect attempt: frames park in a
-//! bounded per-peer retry queue and a background flusher redelivers them
-//! under exponential backoff with jitter ([`BackoffPolicy`]), so a peer
-//! restart or a healed partition drains the queue instead of silently
-//! losing traffic. Only queue overflow abandons frames (oldest first,
-//! counted in `tcp_frames_abandoned`) — sustained unreachability then
+//!
+//! # Send pipeline
+//!
+//! The protocol thread never touches a socket. [`Wire::send`] only
+//! enqueues the frame into a bounded per-peer outbox (drop-oldest on
+//! overflow, counted in `tcp_frames_abandoned`) and kicks that peer's
+//! dedicated writer thread. The writer owns the connection outright: it
+//! connects lazily, coalesces everything queued into a single buffered
+//! write per wakeup (one syscall for a batch of header+frame pairs
+//! instead of two `write_all`s per frame), and on failure parks the
+//! unsent tail and backs off exponentially with jitter
+//! ([`BackoffPolicy`]). There is no timed polling: writers sleep on their
+//! kick channel and wake on new frames, on the backoff deadline, or on a
+//! fault-panel transition. A dead or slow peer therefore costs its own
+//! writer thread some blocking time — never the protocol thread, and
+//! never the other peers' links.
+//!
+//! Partitions come from the shared [`FaultPanel`], consulted by the
+//! writer at flush time — the moment the frame would enter the network.
+//! A blocked link holds its frames (and every later frame on the same
+//! link, preserving per-link order) in the outbox; a heal wakes the
+//! writer, which drains them in order. Injected panel loss, by contrast,
+//! drops a frame outright, rolled exactly once per frame at its first
+//! flush attempt (TCP cannot resurrect a frame the application never
+//! wrote), mirroring the simulator's loss semantics. Only queue overflow
+//! abandons frames (oldest first) — sustained unreachability then
 //! degrades to the lossy-network behaviour the fault-tolerant protocol
 //! configuration already handles.
-//!
-//! Partitions come from the shared [`FaultPanel`]: a blocked link is
-//! treated exactly like an unreachable peer, so its frames queue and
-//! drain on heal. Injected panel loss, by contrast, drops frames outright
-//! at send time (TCP cannot resurrect a frame the application never
-//! wrote), mirroring the simulator's loss semantics.
 
 use std::collections::VecDeque;
 use std::io::{Read, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
-use tokq_obs::{Counter, Obs, Source};
+use tokq_obs::{Counter, Gauge, Histogram, Obs, Source};
 use tokq_protocol::types::NodeId;
 
 use crate::fault::FaultPanel;
@@ -42,6 +55,19 @@ use crate::transport::{Envelope, Wire};
 /// Maximum accepted frame payload (a PRIVILEGE for thousands of nodes is
 /// far below this; anything bigger is corruption).
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// How long reader threads wait on a quiet socket before re-checking the
+/// receiver's stop flag; bounds how long `TcpReceiver::shutdown` blocks.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Cap on the accept-error backoff (EMFILE and friends must not spin the
+/// accept thread at 100% CPU, but recovery should still be prompt).
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(100);
+
+/// Upper bound on one blocking socket write; a peer that accepts the
+/// connection but never drains is treated as failed (frames park and the
+/// writer backs off) instead of pinning its writer thread forever.
+const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Reconnect/backoff behaviour of a [`TcpSender`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,7 +80,7 @@ pub struct BackoffPolicy {
     /// (`0.5` adds up to +50%). Decorrelates reconnect storms when many
     /// peers fail at once.
     pub jitter: f64,
-    /// Per-peer retry queue bound; overflow drops the oldest frame.
+    /// Per-peer outbox bound; overflow drops the oldest frame.
     pub queue_cap: usize,
 }
 
@@ -80,34 +106,79 @@ impl BackoffPolicy {
     }
 }
 
-/// Per-peer connection and retry state.
-struct Peer {
+/// A frame parked in a peer's outbox.
+struct QueuedFrame {
+    env: Envelope,
+    /// Whether this frame was already counted in `tcp_frames_requeued`.
+    /// Set on the first flush attempt that could not send it (failed
+    /// write or blocked link); later re-parks are not recounted, so the
+    /// counter reads "frames that ever had to wait", matching the old
+    /// send-path semantics.
+    requeued: bool,
+    /// Whether injected loss was already rolled for this frame. Loss is
+    /// evaluated at flush time but exactly once per frame, so retries do
+    /// not compound the configured probability.
+    loss_rolled: bool,
+}
+
+/// The outbox shared between the enqueuing protocol threads and one
+/// writer thread. The mutex is held only for queue surgery
+/// (push/pop/trim) — never across a connect or write syscall.
+struct PeerOutbox {
+    queue: Mutex<VecDeque<QueuedFrame>>,
+    /// Frames logically pending for this peer: queued plus popped into a
+    /// writer's in-flight batch. Kept outside the queue so
+    /// `pending_frames` and the overflow check see in-flight frames too.
+    depth: AtomicUsize,
+    /// Wakes the peer's writer thread.
+    kick: Sender<()>,
+}
+
+/// Connection state owned exclusively by one writer thread — no lock
+/// guards it because nothing else may touch the socket.
+struct WriterConn {
     conn: Option<TcpStream>,
-    queue: VecDeque<Envelope>,
     /// Current backoff delay; zero while the link is healthy.
     delay: Duration,
-    /// Earliest instant the flusher may retry this peer.
+    /// Earliest instant the writer may retry after a failure.
     next_attempt: Instant,
     /// Whether a connection was ever established (distinguishes
     /// reconnects from first connects).
     ever_connected: bool,
+    /// Reusable coalescing buffer: header+frame pairs for a whole batch.
+    buf: Vec<u8>,
+    /// End offset of each frame within `buf`, for partial-write
+    /// accounting.
+    bounds: Vec<usize>,
 }
 
-impl Peer {
+impl WriterConn {
     fn new() -> Self {
-        Peer {
+        WriterConn {
             conn: None,
-            queue: VecDeque::new(),
             delay: Duration::ZERO,
             next_attempt: Instant::now(),
             ever_connected: false,
+            buf: Vec::new(),
+            bounds: Vec::new(),
         }
     }
 }
 
+/// What a flush pass left behind, deciding how the writer sleeps.
+enum FlushState {
+    /// Outbox empty: sleep until kicked.
+    Idle,
+    /// Frames held behind blocked links only: sleep until kicked (the
+    /// fault panel kicks on every transition, so a heal wakes us).
+    Parked,
+    /// A send failed: sleep until the backoff deadline or a kick.
+    Backoff(Instant),
+}
+
 struct SenderInner {
     addrs: Vec<SocketAddr>,
-    peers: Vec<Mutex<Peer>>,
+    peers: Vec<PeerOutbox>,
     policy: BackoffPolicy,
     connect_timeout: Duration,
     panel: FaultPanel,
@@ -118,11 +189,17 @@ struct SenderInner {
     connects: Counter,
     /// Connection establishments after a previous failure or disconnect.
     reconnects: Counter,
-    /// Frames parked in a retry queue after a send failure or a blocked
-    /// link.
+    /// Frames that had to wait in an outbox past their first flush
+    /// attempt (failed send or blocked link), counted once per frame.
     frames_requeued: Counter,
-    /// Frames dropped because a retry queue overflowed its bound.
+    /// Frames dropped because an outbox overflowed its bound.
     frames_abandoned: Counter,
+    /// Frames currently pending across all outboxes.
+    outbox_depth: Gauge,
+    /// Frames coalesced into each successful batch write.
+    frames_per_flush: Histogram,
+    /// Nanoseconds the caller spends inside `Wire::send` (enqueue only).
+    enqueue_ns: Histogram,
 }
 
 impl SenderInner {
@@ -142,111 +219,219 @@ impl SenderInner {
         delay + delay.mul_f64(self.policy.jitter * unit)
     }
 
-    /// Parks `env` in `peer`'s retry queue, dropping the oldest frame if
-    /// the queue is at its bound.
-    fn park(&self, peer: &mut Peer, env: Envelope) {
-        if peer.queue.len() >= self.policy.queue_cap {
-            peer.queue.pop_front();
-            self.frames_abandoned.inc();
+    /// Schedules the writer's next retry one backoff step out.
+    fn back_off(&self, w: &mut WriterConn) {
+        w.delay = self.policy.next_delay(w.delay);
+        w.next_attempt = Instant::now() + self.jittered(w.delay);
+    }
+
+    /// Removes `n` frames from peer `idx`'s logical depth (sent, dropped
+    /// by loss, or abandoned).
+    fn sub_depth(&self, idx: usize, n: usize) {
+        self.peers[idx].depth.fetch_sub(n, Ordering::Relaxed);
+        self.outbox_depth.sub(n as i64);
+    }
+
+    /// Counts `f` as requeued exactly once over its lifetime.
+    fn mark_requeued(&self, f: &mut QueuedFrame) {
+        if !f.requeued {
+            f.requeued = true;
+            self.frames_requeued.inc();
         }
-        peer.queue.push_back(env);
-        self.frames_requeued.inc();
     }
 
-    /// Schedules the next retry for `peer` one backoff step out.
-    fn back_off(&self, peer: &mut Peer) {
-        peer.delay = self.policy.next_delay(peer.delay);
-        peer.next_attempt = Instant::now() + self.jittered(peer.delay);
-    }
-
-    /// Connects (if needed) and writes one frame on `peer`'s stream.
-    fn write_frame(&self, idx: usize, peer: &mut Peer, env: &Envelope) -> std::io::Result<()> {
-        if peer.conn.is_none() {
-            let stream = TcpStream::connect_timeout(&self.addrs[idx], self.connect_timeout)?;
-            stream.set_nodelay(true)?;
-            self.connects.inc();
-            if peer.ever_connected {
-                self.reconnects.inc();
+    /// One flush pass over peer `idx`: repeatedly splits the outbox into
+    /// held frames (blocked links, kept in order) and a sendable batch,
+    /// and writes the batch as a single coalesced buffer. Returns how the
+    /// writer should sleep.
+    fn flush_peer(&self, idx: usize, w: &mut WriterConn) -> FlushState {
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return FlushState::Idle;
             }
-            peer.ever_connected = true;
-            peer.conn = Some(stream);
-        }
-        let stream = peer.conn.as_mut().expect("just connected");
-        let mut header = [0u8; 8];
-        header[..4].copy_from_slice(&(env.frame.len() as u32).to_be_bytes());
-        header[4..].copy_from_slice(&env.from.0.to_be_bytes());
-        let result = stream
-            .write_all(&header)
-            .and_then(|()| stream.write_all(&env.frame));
-        if result.is_err() {
-            peer.conn = None; // reconnect on the next attempt
-        }
-        result
-    }
-
-    /// One write attempt with a single immediate reconnect when the
-    /// failure was on a pre-existing (possibly stale) connection.
-    fn send_now(&self, idx: usize, peer: &mut Peer, env: &Envelope) -> std::io::Result<()> {
-        let had_conn = peer.conn.is_some();
-        match self.write_frame(idx, peer, env) {
-            Ok(()) => {
-                peer.delay = Duration::ZERO;
-                Ok(())
+            if Instant::now() < w.next_attempt {
+                // Inside a backoff window the link is known-bad: leave
+                // everything parked until the deadline.
+                return if self.peers[idx].queue.lock().is_empty() {
+                    FlushState::Idle
+                } else {
+                    FlushState::Backoff(w.next_attempt)
+                };
             }
-            Err(e) if had_conn => match self.write_frame(idx, peer, env) {
-                Ok(()) => {
-                    peer.delay = Duration::ZERO;
-                    Ok(())
+            let mut batch: Vec<QueuedFrame> = Vec::new();
+            let held_any;
+            {
+                let mut q = self.peers[idx].queue.lock();
+                if q.is_empty() {
+                    return FlushState::Idle;
                 }
-                Err(_) => Err(e),
-            },
-            Err(e) => Err(e),
+                let mut kept: VecDeque<QueuedFrame> = VecDeque::with_capacity(q.len());
+                // Source nodes with a held frame earlier in the scan: all
+                // their later frames must hold too, so a link healing
+                // mid-scan cannot reorder that link's frames.
+                let mut held_links: Vec<u32> = Vec::new();
+                while let Some(mut f) = q.pop_front() {
+                    let from = f.env.from;
+                    if held_links.contains(&from.0) || self.panel.is_blocked(from.index(), idx) {
+                        self.mark_requeued(&mut f);
+                        if !held_links.contains(&from.0) {
+                            held_links.push(from.0);
+                        }
+                        kept.push_back(f);
+                    } else if !f.loss_rolled && self.panel.rolls_loss_drop() {
+                        self.sub_depth(idx, 1); // injected loss: frame gone
+                    } else {
+                        f.loss_rolled = true;
+                        batch.push(f);
+                    }
+                }
+                held_any = !kept.is_empty();
+                *q = kept;
+            }
+            if batch.is_empty() {
+                return if held_any {
+                    FlushState::Parked
+                } else {
+                    FlushState::Idle
+                };
+            }
+            match self.write_batch(idx, w, &batch) {
+                Ok(()) => {
+                    w.delay = Duration::ZERO;
+                    self.sub_depth(idx, batch.len());
+                    self.frames_per_flush.record(batch.len() as u64);
+                    // Go around: more frames may have queued while the
+                    // batch was on the wire.
+                }
+                Err(sent) => {
+                    self.sub_depth(idx, sent);
+                    if sent > 0 {
+                        self.frames_per_flush.record(sent as u64);
+                    }
+                    let mut q = self.peers[idx].queue.lock();
+                    for mut f in batch.into_iter().skip(sent).rev() {
+                        self.mark_requeued(&mut f);
+                        q.push_front(f);
+                    }
+                    // Frames enqueued during the failed write may have
+                    // pushed the outbox past its bound: drop-oldest back
+                    // under the cap.
+                    while self.peers[idx].depth.load(Ordering::Relaxed) > self.policy.queue_cap {
+                        if q.pop_front().is_none() {
+                            break;
+                        }
+                        self.sub_depth(idx, 1);
+                        self.frames_abandoned.inc();
+                    }
+                    drop(q);
+                    self.back_off(w);
+                    return FlushState::Backoff(w.next_attempt);
+                }
+            }
         }
     }
 
-    /// Attempts to drain `peer`'s retry queue, preserving frame order.
-    /// Frames whose link is still blocked are kept; an I/O failure backs
-    /// the peer off and keeps the unsent tail.
-    fn drain_peer(&self, idx: usize) {
-        let mut peer = self.peers[idx].lock();
-        if peer.queue.is_empty() || Instant::now() < peer.next_attempt {
-            return;
+    /// Connects (if needed) and writes the whole batch as one coalesced
+    /// buffer. On failure returns `Err(sent)` with the count of frames
+    /// whose bytes were fully accepted; the boundary frame and everything
+    /// after it must be retried — a partially-written frame was never
+    /// framed on the peer, so resending it cannot duplicate delivery.
+    fn write_batch(
+        &self,
+        idx: usize,
+        w: &mut WriterConn,
+        batch: &[QueuedFrame],
+    ) -> Result<(), usize> {
+        if w.conn.is_none() {
+            match TcpStream::connect_timeout(&self.addrs[idx], self.connect_timeout) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_write_timeout(Some(WRITE_STALL_TIMEOUT));
+                    self.connects.inc();
+                    if w.ever_connected {
+                        self.reconnects.inc();
+                    }
+                    w.ever_connected = true;
+                    w.conn = Some(stream);
+                }
+                Err(_) => return Err(0),
+            }
         }
-        let mut held: VecDeque<Envelope> = VecDeque::new();
+        w.buf.clear();
+        w.bounds.clear();
+        for f in batch {
+            w.buf
+                .extend_from_slice(&(f.env.frame.len() as u32).to_be_bytes());
+            w.buf.extend_from_slice(&f.env.from.0.to_be_bytes());
+            w.buf.extend_from_slice(&f.env.frame);
+            w.bounds.push(w.buf.len());
+        }
+        let stream = w.conn.as_mut().expect("just connected");
+        let mut off = 0usize;
         let mut failed = false;
-        while let Some(env) = peer.queue.pop_front() {
-            if self.panel.is_blocked(env.from.index(), env.to.index()) {
-                held.push_back(env);
-                continue;
+        while off < w.buf.len() {
+            match stream.write(&w.buf[off..]) {
+                Ok(0) => {
+                    failed = true;
+                    break;
+                }
+                Ok(n) => off += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
             }
-            if self.send_now(idx, &mut peer, &env).is_err() {
-                held.push_back(env);
-                failed = true;
-                break;
-            }
         }
-        if failed {
-            self.back_off(&mut peer);
+        if !failed {
+            return Ok(());
         }
-        // Reassemble: held frames preceded the unpopped tail, so order is
-        // preserved per link.
-        while let Some(env) = peer.queue.pop_front() {
-            held.push_back(env);
-        }
-        peer.queue = held;
+        w.conn = None; // reconnect on the next attempt
+        Err(w.bounds.iter().filter(|&&b| b <= off).count())
     }
 
     fn pending_frames(&self) -> usize {
-        self.peers.iter().map(|p| p.lock().queue.len()).sum()
+        self.peers
+            .iter()
+            .map(|p| p.depth.load(Ordering::Relaxed))
+            .sum()
     }
 }
 
-/// The sending half: lazily-connected streams to every peer, with
-/// backoff-governed retry queues behind a background flusher.
+/// One writer thread per peer: sleeps on the kick channel, flushes on
+/// wakeup. Kicks arrive from `Wire::send` (new frame), `shutdown`, and
+/// every fault-panel transition (so a heal drains parked frames
+/// immediately, with no timed polling anywhere).
+fn writer_loop(inner: Arc<SenderInner>, idx: usize, kick: Receiver<()>) {
+    let mut w = WriterConn::new();
+    loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let received = match inner.flush_peer(idx, &mut w) {
+            FlushState::Idle | FlushState::Parked => {
+                kick.recv().map_err(|_| RecvTimeoutError::Disconnected)
+            }
+            FlushState::Backoff(until) => {
+                kick.recv_timeout(until.saturating_duration_since(Instant::now()))
+            }
+        };
+        match received {
+            Ok(()) => {
+                // Coalesce a kick storm into one flush pass.
+                while kick.try_recv().is_ok() {}
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// The sending half: a bounded outbox plus a dedicated writer thread per
+/// peer. `send` never performs socket I/O on the calling thread.
 pub struct TcpSender {
     inner: Arc<SenderInner>,
-    kick: Sender<()>,
-    flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    writers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for TcpSender {
@@ -264,9 +449,11 @@ impl TcpSender {
         Self::with_obs(addrs, &Obs::disabled(Source::Runtime))
     }
 
-    /// Like [`TcpSender::new`], recording connection churn counters
-    /// (`tcp_connects`, `tcp_reconnects`, `tcp_frames_requeued`,
-    /// `tcp_frames_abandoned`) into `obs`.
+    /// Like [`TcpSender::new`], recording pipeline telemetry into `obs`:
+    /// connection churn counters (`tcp_connects`, `tcp_reconnects`,
+    /// `tcp_frames_requeued`, `tcp_frames_abandoned`), the
+    /// `tcp_outbox_depth` gauge, and the `tcp_frames_per_flush` /
+    /// `send_enqueue_ns` histograms.
     pub fn with_obs(addrs: Vec<SocketAddr>, obs: &Obs) -> Self {
         let panel = FaultPanel::new(addrs.len(), obs);
         Self::with_panel(addrs, obs, panel, BackoffPolicy::default())
@@ -274,13 +461,24 @@ impl TcpSender {
 
     /// Full-control constructor: an external [`FaultPanel`] (shared with
     /// the fault-injecting side) and an explicit [`BackoffPolicy`].
+    /// Spawns one `tokq-tcp-write-<peer>` thread per address.
     pub fn with_panel(
         addrs: Vec<SocketAddr>,
         obs: &Obs,
         panel: FaultPanel,
         policy: BackoffPolicy,
     ) -> Self {
-        let peers = (0..addrs.len()).map(|_| Mutex::new(Peer::new())).collect();
+        let mut peers = Vec::with_capacity(addrs.len());
+        let mut kick_rxs = Vec::with_capacity(addrs.len());
+        for _ in 0..addrs.len() {
+            let (tx, rx) = unbounded::<()>();
+            peers.push(PeerOutbox {
+                queue: Mutex::new(VecDeque::new()),
+                depth: AtomicUsize::new(0),
+                kick: tx,
+            });
+            kick_rxs.push(rx);
+        }
         let inner = Arc::new(SenderInner {
             addrs,
             peers,
@@ -293,40 +491,54 @@ impl TcpSender {
             reconnects: obs.registry().counter("tcp_reconnects"),
             frames_requeued: obs.registry().counter("tcp_frames_requeued"),
             frames_abandoned: obs.registry().counter("tcp_frames_abandoned"),
+            outbox_depth: obs.registry().gauge("tcp_outbox_depth"),
+            frames_per_flush: obs.registry().histogram("tcp_frames_per_flush"),
+            enqueue_ns: obs.registry().histogram("send_enqueue_ns"),
         });
-        let (kick, kick_rx) = unbounded::<()>();
-        let flusher_inner = Arc::clone(&inner);
-        let flusher = std::thread::Builder::new()
-            .name("tokq-tcp-flush".into())
-            .spawn(move || flush_loop(flusher_inner, kick_rx))
-            .expect("spawn tcp flusher thread");
+        // Any fault transition wakes every writer: parked frames drain
+        // the instant their link heals.
+        let kicks: Vec<Sender<()>> = inner.peers.iter().map(|p| p.kick.clone()).collect();
+        inner.panel.add_waker(Box::new(move || {
+            for k in &kicks {
+                let _ = k.send(());
+            }
+        }));
+        let writers = kick_rxs
+            .into_iter()
+            .enumerate()
+            .map(|(idx, rx)| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("tokq-tcp-write-{idx}"))
+                    .spawn(move || writer_loop(inner, idx, rx))
+                    .expect("spawn tcp writer thread")
+            })
+            .collect();
         TcpSender {
             inner,
-            kick,
-            flusher: Mutex::new(Some(flusher)),
+            writers: Mutex::new(writers),
         }
     }
 
-    /// The fault panel this sender consults on every frame.
+    /// The fault panel this sender's writers consult on every flush.
     pub fn fault_panel(&self) -> &FaultPanel {
         &self.inner.panel
     }
 
-    /// Frames currently parked in retry queues across all peers.
+    /// Frames currently pending (queued or in a writer's in-flight batch)
+    /// across all peers.
     pub fn pending_frames(&self) -> usize {
         self.inner.pending_frames()
     }
 
-    fn kick_flusher(&self) {
-        let _ = self.kick.send(());
-    }
-
-    /// Stops the flusher thread; queued frames are dropped. Called
-    /// automatically on drop.
+    /// Stops and joins every writer thread; pending frames are dropped.
+    /// Called automatically on drop.
     pub fn shutdown(&self) {
         self.inner.stop.store(true, Ordering::SeqCst);
-        self.kick_flusher();
-        if let Some(t) = self.flusher.lock().take() {
+        for p in &self.inner.peers {
+            let _ = p.kick.send(());
+        }
+        for t in self.writers.lock().drain(..) {
             let _ = t.join();
         }
     }
@@ -334,70 +546,41 @@ impl TcpSender {
 
 impl Wire for TcpSender {
     fn send(&self, env: Envelope) {
+        let started = Instant::now();
         let idx = env.to.index();
         if idx >= self.inner.addrs.len() {
             return; // no such peer: drop, like the channel transport
         }
-        // Injected loss is evaluated at send time, like the simulator's
-        // network model: a dropped frame is gone (TCP cannot resurrect a
-        // frame the application never wrote).
-        if self.inner.panel.rolls_loss_drop() {
-            return;
+        let peer = &self.inner.peers[idx];
+        {
+            let mut q = peer.queue.lock();
+            // Drop-oldest at the bound. With every queued frame in a
+            // writer's in-flight batch there is nothing to pop; the bound
+            // is restored by the writer's post-failure trim.
+            if peer.depth.load(Ordering::Relaxed) >= self.inner.policy.queue_cap
+                && q.pop_front().is_some()
+            {
+                self.inner.sub_depth(idx, 1);
+                self.inner.frames_abandoned.inc();
+            }
+            q.push_back(QueuedFrame {
+                env,
+                requeued: false,
+                loss_rolled: false,
+            });
+            peer.depth.fetch_add(1, Ordering::Relaxed);
+            self.inner.outbox_depth.add(1);
         }
-        let mut peer = self.inner.peers[idx].lock();
-        let blocked = self
-            .inner
-            .panel
-            .is_blocked(env.from.index(), env.to.index());
-        // Preserve order: anything queued must go out before this frame,
-        // and a backoff window means the link is known-bad right now.
-        if blocked || !peer.queue.is_empty() || Instant::now() < peer.next_attempt {
-            self.inner.park(&mut peer, env);
-            drop(peer);
-            self.kick_flusher();
-            return;
-        }
-        if self.inner.send_now(idx, &mut peer, &env).is_err() {
-            self.inner.park(&mut peer, env);
-            self.inner.back_off(&mut peer);
-            drop(peer);
-            self.kick_flusher();
-        }
+        let _ = peer.kick.send(());
+        self.inner
+            .enqueue_ns
+            .record(started.elapsed().as_nanos() as u64);
     }
 }
 
 impl Drop for TcpSender {
     fn drop(&mut self) {
         self.shutdown();
-    }
-}
-
-/// Background redelivery: wakes on a kick (new parked frame) or on a
-/// short tick while queues are non-empty, and retries every peer whose
-/// backoff window has elapsed.
-fn flush_loop(inner: Arc<SenderInner>, kick: Receiver<()>) {
-    loop {
-        if inner.stop.load(Ordering::SeqCst) {
-            return;
-        }
-        for idx in 0..inner.peers.len() {
-            inner.drain_peer(idx);
-        }
-        let wait = if inner.pending_frames() > 0 {
-            // Re-check soon: a blocked link can heal at any moment and
-            // backoff windows are in the tens of milliseconds.
-            Duration::from_millis(10)
-        } else {
-            Duration::from_millis(250)
-        };
-        match kick.recv_timeout(wait) {
-            Ok(()) => {
-                // Coalesce a kick storm into one drain pass.
-                while kick.try_recv().is_ok() {}
-            }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => return,
-        }
     }
 }
 
@@ -408,6 +591,7 @@ pub struct TcpReceiver {
     local: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 }
 
 impl TcpReceiver {
@@ -422,14 +606,18 @@ impl TcpReceiver {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
         let stop2 = Arc::clone(&stop);
+        let readers2 = Arc::clone(&readers);
         let accept_thread = std::thread::Builder::new()
             .name("tokq-tcp-accept".into())
-            .spawn(move || accept_loop(listener, inbox, stop2))?;
+            .spawn(move || accept_loop(listener, inbox, stop2, readers2))?;
         Ok(TcpReceiver {
             local,
             stop,
             accept_thread: Some(accept_thread),
+            readers,
         })
     }
 
@@ -438,13 +626,18 @@ impl TcpReceiver {
         self.local
     }
 
-    /// Stops accepting and joins the accept thread. Reader threads for
-    /// established connections exit when their peers disconnect.
+    /// Stops accepting and joins the accept thread and every reader
+    /// thread. Readers poll the stop flag between socket reads (via a
+    /// read timeout), so the join completes within one tick even while
+    /// peers stay connected.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept() with a dummy connection.
         let _ = TcpStream::connect_timeout(&self.local, Duration::from_millis(200));
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.readers.lock().drain(..) {
             let _ = t.join();
         }
     }
@@ -456,31 +649,74 @@ impl Drop for TcpReceiver {
     }
 }
 
-fn accept_loop(listener: TcpListener, inbox: Sender<NodeEvent>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    inbox: Sender<NodeEvent>,
+    stop: Arc<AtomicBool>,
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    let mut backoff = Duration::from_millis(1);
     loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                backoff = Duration::from_millis(1);
                 if stop.load(Ordering::SeqCst) {
                     return;
                 }
+                // The timeout lets read_loop notice the stop flag on a
+                // quiet connection, so shutdown() can join it.
+                let _ = stream.set_read_timeout(Some(READ_TICK));
                 let inbox = inbox.clone();
-                let _ = std::thread::Builder::new()
+                let stop = Arc::clone(&stop);
+                if let Ok(handle) = std::thread::Builder::new()
                     .name("tokq-tcp-read".into())
-                    .spawn(move || read_loop(stream, inbox));
+                    .spawn(move || read_loop(stream, inbox, stop))
+                {
+                    readers.lock().push(handle);
+                }
             }
             Err(_) => {
                 if stop.load(Ordering::SeqCst) {
                     return;
                 }
+                // Persistent accept errors (EMFILE, ENFILE) must not
+                // busy-spin this thread at 100% CPU.
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
             }
         }
     }
 }
 
-fn read_loop(mut stream: TcpStream, inbox: Sender<NodeEvent>) {
+/// Reads exactly `buf.len()` bytes, treating the read timeout installed
+/// by the accept loop as a cue to re-check `stop` rather than an error.
+/// Returns `false` on EOF, a real error, or shutdown.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> bool {
+    let mut off = 0;
+    while off < buf.len() {
+        if stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        match stream.read(&mut buf[off..]) {
+            Ok(0) => return false,
+            Ok(n) => off += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+fn read_loop(mut stream: TcpStream, inbox: Sender<NodeEvent>, stop: Arc<AtomicBool>) {
     let mut header = [0u8; 8];
     loop {
-        if stream.read_exact(&mut header).is_err() {
+        if !read_full(&mut stream, &mut header, &stop) {
             return;
         }
         let len = u32::from_be_bytes(header[..4].try_into().expect("4 bytes"));
@@ -489,7 +725,7 @@ fn read_loop(mut stream: TcpStream, inbox: Sender<NodeEvent>) {
             return; // corrupt stream: drop the connection
         }
         let mut payload = vec![0u8; len as usize];
-        if stream.read_exact(&mut payload).is_err() {
+        if !read_full(&mut stream, &mut payload, &stop) {
             return;
         }
         if inbox
@@ -526,6 +762,19 @@ mod tests {
             NodeEvent::Wire { frame, .. } => frame,
             other => panic!("unexpected event {other:?}"),
         }
+    }
+
+    /// Polls `cond` for up to five seconds; the writer pipeline is
+    /// asynchronous, so queue-state assertions need a grace window.
+    fn eventually(cond: impl Fn() -> bool) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        false
     }
 
     #[test]
@@ -591,8 +840,17 @@ mod tests {
         for i in 0..10u8 {
             sender.send(env_to0(0, &[i]));
         }
-        assert!(sender.pending_frames() <= 4);
-        assert!(obs.registry().snapshot().counters["tcp_frames_abandoned"] >= 6);
+        // The writer trims any transient over-cap backlog on its next
+        // failed flush, so poll rather than assert instantaneously.
+        assert!(
+            eventually(|| {
+                sender.pending_frames() <= 4
+                    && obs.registry().snapshot().counters["tcp_frames_abandoned"] >= 6
+            }),
+            "pending={} counters={:?}",
+            sender.pending_frames(),
+            obs.registry().snapshot().counters
+        );
     }
 
     #[test]
@@ -618,10 +876,11 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         // The cached stream is now dead. A write into it can still land in
         // the kernel buffer if the RST races us (that frame is lost — TCP
-        // semantics), so send a sacrificial probe first; the failing write
-        // forces a reconnect and every later frame arrives on the fresh
-        // connection.
+        // semantics), so send a sacrificial probe first and give the
+        // writer a beat to flush it separately; the failing write forces a
+        // reconnect and every later frame arrives on the fresh connection.
         sender.send(env_to0(0, b"probe"));
+        std::thread::sleep(Duration::from_millis(30));
         sender.send(env_to0(0, b"after reset"));
         let (mut conn, _) = listener.accept().expect("re-accept");
         let mut seen = Vec::new();
@@ -664,8 +923,80 @@ mod tests {
         for i in 0..5u8 {
             assert_eq!(recv_frame(&rx, Duration::from_secs(5))[0], i);
         }
-        assert_eq!(sender.pending_frames(), 0);
+        assert!(eventually(|| sender.pending_frames() == 0));
         assert_eq!(obs.registry().snapshot().counters["tcp_frames_requeued"], 5);
+    }
+
+    #[test]
+    fn send_stays_enqueue_only_and_batches_coalesce() {
+        // Block the link first so every send is a pure enqueue, then heal:
+        // the whole backlog must leave in one coalesced batch write.
+        let obs = Obs::disabled(Source::Runtime);
+        let (tx, rx) = unbounded();
+        let recv = TcpReceiver::bind(loopback(), tx).expect("bind");
+        let panel = FaultPanel::detached(2);
+        let sender = TcpSender::with_panel(
+            vec![recv.local_addr(), recv.local_addr()],
+            &obs,
+            panel.clone(),
+            BackoffPolicy::default(),
+        );
+        panel.block(1, 0);
+        for i in 0..32u8 {
+            sender.send(env_to0(1, &[i]));
+        }
+        panel.heal();
+        for i in 0..32u8 {
+            assert_eq!(recv_frame(&rx, Duration::from_secs(5))[0], i);
+        }
+        let snap = obs.registry().snapshot();
+        let enqueue = &snap.histograms["send_enqueue_ns"];
+        assert_eq!(enqueue.count, 32, "every send recorded its enqueue time");
+        let per_flush = &snap.histograms["tcp_frames_per_flush"];
+        assert!(
+            per_flush.max >= 2,
+            "parked backlog should coalesce into a multi-frame batch: {per_flush:?}"
+        );
+        assert!(eventually(|| obs
+            .registry()
+            .gauge("tcp_outbox_depth")
+            .get()
+            == 0));
+    }
+
+    #[test]
+    fn shutdown_joins_writers_promptly_with_dead_peer() {
+        let (tx, _rx) = unbounded();
+        let mut recv = TcpReceiver::bind(loopback(), tx).expect("bind");
+        let addr = recv.local_addr();
+        recv.shutdown();
+        drop(recv);
+        let sender = TcpSender::new(vec![addr]);
+        sender.send(env_to0(0, b"x"));
+        let started = Instant::now();
+        sender.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "shutdown hung: {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn receiver_shutdown_joins_readers_with_live_connection() {
+        let (tx, _rx) = unbounded();
+        let mut recv = TcpReceiver::bind(loopback(), tx).expect("bind");
+        // A connected-but-quiet peer used to leave its reader thread
+        // blocked in read_exact forever; now readers poll the stop flag.
+        let _client = TcpStream::connect(recv.local_addr()).expect("connect");
+        std::thread::sleep(Duration::from_millis(30)); // let accept run
+        let started = Instant::now();
+        recv.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "shutdown hung: {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

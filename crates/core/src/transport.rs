@@ -81,6 +81,14 @@ impl NetOptions {
 /// transport in [`crate::tcp`]; node event loops are generic over it.
 pub trait Wire: Send + Sync + 'static {
     /// Best-effort delivery of one envelope.
+    ///
+    /// **Must not block the caller on network I/O.** Protocol threads
+    /// call this while driving request collection and token forwarding;
+    /// an implementation that performs connects or writes inline couples
+    /// every shard's latency to the slowest peer. The TCP transport only
+    /// enqueues into a bounded per-peer outbox and hands the frame to a
+    /// writer thread; the channel transport forwards over an unbounded
+    /// in-process channel. Both are O(enqueue) on the calling thread.
     fn send(&self, env: Envelope);
 }
 

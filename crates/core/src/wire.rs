@@ -69,6 +69,9 @@ fn put_qlist(out: &mut BytesMut, q: &QList) {
 fn get_qlist(buf: &mut Bytes) -> Result<QList, WireError> {
     need(buf, 4)?;
     let len = buf.get_u32() as usize;
+    // `len` is untrusted: no pre-allocation happens here (the QList grows
+    // entry by entry, each gated by `need`), so a corrupt count costs at
+    // most one Truncated error — never memory.
     let mut q = QList::new();
     for _ in 0..len {
         need(buf, 16)?;
@@ -95,7 +98,11 @@ fn get_token(buf: &mut Bytes) -> Result<Token, WireError> {
     let q = get_qlist(buf)?;
     need(buf, 4)?;
     let n = buf.get_u32() as usize;
-    let mut last_granted = Vec::with_capacity(n);
+    // `n` is an untrusted length prefix: clamp the pre-allocation to what
+    // the remaining bytes could actually hold (8 bytes per entry), so a
+    // tiny corrupt frame claiming u32::MAX entries cannot demand a ~32 GiB
+    // allocation before the per-entry bounds checks reject it.
+    let mut last_granted = Vec::with_capacity(n.min(buf.remaining() / 8));
     for _ in 0..n {
         need(buf, 8)?;
         last_granted.push(SeqNum(buf.get_u64()));
@@ -412,6 +419,23 @@ mod tests {
             let r = decode(&frame[..cut]);
             assert!(r.is_err(), "decode of {cut}-byte prefix must fail");
         }
+    }
+
+    #[test]
+    fn huge_length_prefixes_fail_without_huge_allocation() {
+        // A Privilege frame with an empty qlist whose last_granted count
+        // claims u32::MAX entries (~32 GiB if trusted). The clamp caps the
+        // pre-allocation at what the frame could actually hold (zero) and
+        // the per-entry bounds check reports truncation immediately.
+        let mut frame = vec![WIRE_VERSION, 0, 0, 1];
+        frame.extend_from_slice(&0u32.to_be_bytes()); // qlist: empty
+        frame.extend_from_slice(&u32::MAX.to_be_bytes()); // last_granted count
+        assert_eq!(decode(&frame), Err(WireError::Truncated));
+
+        // Same attack on the qlist count itself.
+        let mut frame = vec![WIRE_VERSION, 0, 0, 1];
+        frame.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(decode(&frame), Err(WireError::Truncated));
     }
 
     #[test]

@@ -33,4 +33,10 @@ cargo run --release --quiet --example explore_smoke
 echo "==> chaos smoke: seeded fault schedule against a live 5-node cluster"
 cargo run --release --quiet --example chaos_smoke
 
+echo "==> tcp pipeline: head-of-line regression + wire-codec fuzz"
+cargo test -q --test tcp_pipeline
+
+echo "==> tcp bench smoke: grant latency, healthy vs one peer dead"
+cargo run --release --quiet -p tokq-bench --bin tcp_pipeline -- --rounds 3
+
 echo "==> all checks passed"

@@ -85,6 +85,12 @@ fn run_soak(seed: u64, tcp: bool) {
         "schedule had no loss burst: {}",
         report.summary()
     );
+    assert_eq!(
+        report.final_outbox_depth,
+        0,
+        "a healed mesh must drain every parked frame: {}",
+        report.summary()
+    );
 }
 
 #[test]
@@ -151,6 +157,17 @@ fn healed_tcp_partition_drains_retry_queue() {
         metrics.frames_abandoned(),
         0,
         "no frame may be abandoned: the retry queue must absorb the partition"
+    );
+    // The healed mesh must also flush the outboxes themselves: poll the
+    // depth gauge down to zero (the writers drain asynchronously).
+    let drain_deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while metrics.outbox_depth() > 0 && std::time::Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(
+        metrics.outbox_depth(),
+        0,
+        "healed outboxes must drain to empty"
     );
     cluster.shutdown();
 }
